@@ -1,0 +1,132 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+1. Appendix-J subsequence-test pruning techniques on/off (label test,
+   local-information match, prefix pruning) — measured on a batch of
+   pattern-vs-pattern temporal subgraph tests.
+2. Residual-set integer compression (Lemma 6) vs. linear scans — via the
+   LinearScan miner variant.
+3. Score-function choice — the paper observes the common score functions
+   deliver a common set of top patterns.
+"""
+
+import random
+import time
+
+from repro.core.miner import MinerConfig, TGMiner
+from repro.core.pattern import TemporalPattern
+from repro.core.subgraph import SequenceSubgraphTester
+from repro.experiments.harness import mine_behavior
+
+from conftest import MINING_SECONDS, emit, once
+
+
+def _random_graph(rng, n_nodes, n_edges, alphabet="ABCD"):
+    from repro.core.graph import TemporalGraph
+
+    g = TemporalGraph()
+    for _ in range(n_nodes):
+        g.add_node(rng.choice(alphabet))
+    for t in range(n_edges):
+        u = rng.randrange(n_nodes)
+        v = (u + 1 + rng.randrange(n_nodes - 1)) % n_nodes
+        g.add_edge(u, v, t)
+    return g.freeze()
+
+
+def _pattern_corpus(seed=11, count=60):
+    rng = random.Random(seed)
+    pairs = []
+    for _ in range(count):
+        big_graph = _random_graph(rng, 6, 12)
+        try:
+            big = TemporalPattern.from_graph(big_graph)
+        except Exception:
+            continue
+        small_graph = _random_graph(rng, 4, 5)
+        try:
+            small = TemporalPattern.from_graph(small_graph)
+        except Exception:
+            continue
+        pairs.append((small, big))
+    return pairs
+
+
+def test_ablation_subsequence_pruning(benchmark):
+    pairs = _pattern_corpus()
+
+    def run():
+        timings = {}
+        configs = {
+            "all-prunings": {},
+            "no-label-test": {"use_label_test": False},
+            "no-local-info": {"use_local_info": False},
+            "no-prefix": {"use_prefix_pruning": False},
+            "none": {
+                "use_label_test": False,
+                "use_local_info": False,
+                "use_prefix_pruning": False,
+            },
+        }
+        reference = None
+        for name, kwargs in configs.items():
+            tester = SequenceSubgraphTester(**kwargs)
+            started = time.perf_counter()
+            outcome = [tester.contains(s, b) for s, b in pairs for _ in range(30)]
+            timings[name] = time.perf_counter() - started
+            if reference is None:
+                reference = outcome
+            assert outcome == reference, f"{name} changed results"
+        return timings
+
+    timings = once(benchmark, run)
+    emit("\n=== Ablation: Appendix-J subsequence-test prunings ===")
+    for name, seconds in timings.items():
+        emit(f"{name:14s} {seconds:8.3f}s")
+
+
+def test_ablation_residual_compression(benchmark, train):
+    def run():
+        timings = {}
+        for mode in ("integer", "linear"):
+            config = MinerConfig(
+                max_edges=4,
+                min_pos_support=0.7,
+                residual_equivalence=mode,
+                max_seconds=MINING_SECONDS,
+            )
+            started = time.perf_counter()
+            result = mine_behavior(train, "ftp-download", config)
+            timings[mode] = (time.perf_counter() - started, result.best_score)
+        return timings
+
+    timings = once(benchmark, run)
+    emit("\n=== Ablation: residual-set compression (Lemma 6) vs linear scan ===")
+    for mode, (seconds, _score) in timings.items():
+        emit(f"{mode:8s} {seconds:8.3f}s")
+    assert timings["integer"][1] == timings["linear"][1]
+
+
+def test_ablation_score_functions(benchmark, train):
+    def run():
+        tops = {}
+        for score in ("log-ratio", "g-test", "info-gain"):
+            result = TGMiner(
+                MinerConfig(
+                    max_edges=3,
+                    min_pos_support=0.7,
+                    score=score,
+                    max_seconds=MINING_SECONDS,
+                )
+            ).mine(train.behavior("gzip-decompress"), train.background)
+            tops[score] = {m.pattern.key() for m in result.best}
+        return tops
+
+    tops = once(benchmark, run)
+    emit("\n=== Ablation: score functions deliver a common top pattern set ===")
+    common = set.intersection(*tops.values())
+    for score, keys in tops.items():
+        emit(f"{score:10s} {len(keys):4d} co-optimal patterns")
+    emit(f"{'common':10s} {len(common):4d}")
+    # paper Section 6.1: the score functions deliver a common set of
+    # discriminative patterns
+    assert common

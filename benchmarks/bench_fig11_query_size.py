@@ -1,0 +1,47 @@
+"""Figure 11: query accuracy vs. behavior-query size (1..N edges).
+
+Expected shape (paper): precision rises with query size and saturates
+around size ~6; recall dips slightly.  The sweep uses the confusable ssh
+family member plus one easy behavior, averaged.
+"""
+
+from repro.experiments.harness import accuracy_for_behavior
+
+from conftest import emit, once
+
+SIZES = (1, 2, 3, 4, 6)
+BEHAVIORS = ("ssh-login", "wget-download")
+
+
+def test_fig11_accuracy_vs_query_size(benchmark, train, test_data, engine, model):
+    def run():
+        table = {}
+        for size in SIZES:
+            precisions, recalls = [], []
+            for name in BEHAVIORS:
+                row = accuracy_for_behavior(
+                    train,
+                    test_data,
+                    name,
+                    engine=engine,
+                    model=model,
+                    methods=("tgminer",),
+                    query_size=size,
+                    mining_seconds=15.0,
+                )
+                precisions.append(row.tgminer.precision)
+                recalls.append(row.tgminer.recall)
+            table[size] = (
+                sum(precisions) / len(precisions),
+                sum(recalls) / len(recalls),
+            )
+        return table
+
+    table = once(benchmark, run)
+    emit("\n=== Figure 11: accuracy vs behavior query size ===")
+    emit(f"{'size':>4s} {'precision':>10s} {'recall':>8s}")
+    for size in SIZES:
+        p, r = table[size]
+        emit(f"{size:4d} {p * 100:10.1f} {r * 100:8.1f}")
+    # shape: precision at the largest size >= precision at size 1
+    assert table[SIZES[-1]][0] >= table[1][0]

@@ -1,0 +1,47 @@
+"""Figure 12: query accuracy vs. amount of used training data.
+
+Expected shape (paper): precision/recall improve with more training data
+with diminishing returns.
+"""
+
+from repro.experiments.harness import accuracy_for_behavior
+
+from conftest import emit, once
+
+FRACTIONS = (0.25, 0.5, 1.0)
+BEHAVIORS = ("ssh-login", "ftp-download")
+
+
+def test_fig12_accuracy_vs_training_amount(benchmark, train, test_data, engine, model):
+    def run():
+        table = {}
+        for fraction in FRACTIONS:
+            subset = train.subset(fraction)
+            precisions, recalls = [], []
+            for name in BEHAVIORS:
+                row = accuracy_for_behavior(
+                    subset,
+                    test_data,
+                    name,
+                    engine=engine,
+                    model=model,
+                    methods=("tgminer",),
+                    query_size=6,
+                    mining_seconds=15.0,
+                )
+                precisions.append(row.tgminer.precision)
+                recalls.append(row.tgminer.recall)
+            table[fraction] = (
+                sum(precisions) / len(precisions),
+                sum(recalls) / len(recalls),
+            )
+        return table
+
+    table = once(benchmark, run)
+    emit("\n=== Figure 12: accuracy vs amount of used training data ===")
+    emit(f"{'fraction':>8s} {'precision':>10s} {'recall':>8s}")
+    for fraction in FRACTIONS:
+        p, r = table[fraction]
+        emit(f"{fraction:8.2f} {p * 100:10.1f} {r * 100:8.1f}")
+    # full data should not do materially worse than the smallest subset
+    assert table[1.0][0] >= table[FRACTIONS[0]][0] - 0.1

@@ -1,0 +1,48 @@
+"""Table 1: statistics of the training data.
+
+Prints avg #nodes, avg #edges, and total #labels per behavior plus the
+background row, in the paper's order.  The benchmarked operation is the
+full training-corpus generation.
+"""
+
+import statistics
+
+from repro.syscall import BEHAVIOR_NAMES, SIZE_CLASSES, build_training_data
+
+from conftest import BACKGROUND_GRAPHS, TRAIN_INSTANCES, emit, once
+
+
+def _size_class(name: str) -> str:
+    for cls, names in SIZE_CLASSES.items():
+        if name in names:
+            return cls
+    return "-"
+
+
+def test_table1_training_statistics(benchmark):
+    data = once(
+        benchmark,
+        build_training_data,
+        instances_per_behavior=TRAIN_INSTANCES,
+        background_graphs=BACKGROUND_GRAPHS,
+    )
+    emit("\n=== Table 1: statistics of the training data (scaled) ===")
+    emit(f"{'Behavior':20s} {'avg #nodes':>10s} {'avg #edges':>10s} {'#labels':>8s} {'size':>7s}")
+    for name in BEHAVIOR_NAMES:
+        graphs = data.behavior(name)
+        nodes = statistics.mean(g.num_nodes for g in graphs)
+        edges = statistics.mean(g.num_edges for g in graphs)
+        labels = len({l for g in graphs for l in g.label_set()})
+        emit(f"{name:20s} {nodes:10.1f} {edges:10.1f} {labels:8d} {_size_class(name):>7s}")
+    bg = data.background
+    nodes = statistics.mean(g.num_nodes for g in bg)
+    edges = statistics.mean(g.num_edges for g in bg)
+    labels = len({l for g in bg for l in g.label_set()})
+    emit(f"{'background':20s} {nodes:10.1f} {edges:10.1f} {labels:8d} {'-':>7s}")
+
+    # shape assertions: size classes must order as in the paper
+    def avg_edges(name):
+        return statistics.mean(g.num_edges for g in data.behavior(name))
+
+    assert avg_edges("bzip2-decompress") < avg_edges("ssh-login") < avg_edges("sshd-login")
+    assert labels > 300  # background label diversity dwarfs any behavior's

@@ -1,0 +1,61 @@
+"""Table 2: query accuracy (precision/recall) on the 12 behaviors.
+
+Compares NodeSet, Ntemp, and TGMiner behavior queries of size 6 on the
+test log.  Expected shape (paper): average precision TGMiner > Ntemp >
+NodeSet with the largest gaps on the ssh family (scp-download, ssh-login,
+sshd-login); recall roughly tied between TGMiner and Ntemp.
+"""
+
+from repro.experiments.harness import accuracy_for_behavior
+from repro.syscall import BEHAVIOR_NAMES
+
+from conftest import emit, once
+
+MINING_SECONDS = 20.0
+
+
+def test_table2_query_accuracy(benchmark, train, test_data, engine, model):
+    def run():
+        return [
+            accuracy_for_behavior(
+                train,
+                test_data,
+                name,
+                engine=engine,
+                model=model,
+                query_size=6,
+                mining_seconds=MINING_SECONDS,
+            )
+            for name in BEHAVIOR_NAMES
+        ]
+
+    rows = once(benchmark, run)
+    emit("\n=== Table 2: query accuracy on different behaviors ===")
+    emit(
+        f"{'Behavior':20s} | {'NodeSet P':>9s} {'Ntemp P':>8s} {'TGMiner P':>9s} | "
+        f"{'NodeSet R':>9s} {'Ntemp R':>8s} {'TGMiner R':>9s}"
+    )
+    sums = {m: [0.0, 0.0] for m in ("nodeset", "ntemp", "tgminer")}
+    for row in rows:
+        cells = {}
+        for method in ("nodeset", "ntemp", "tgminer"):
+            pr = getattr(row, method)
+            cells[method] = (pr.precision * 100, pr.recall * 100)
+            sums[method][0] += pr.precision
+            sums[method][1] += pr.recall
+        emit(
+            f"{row.behavior:20s} | {cells['nodeset'][0]:9.1f} {cells['ntemp'][0]:8.1f} "
+            f"{cells['tgminer'][0]:9.1f} | {cells['nodeset'][1]:9.1f} "
+            f"{cells['ntemp'][1]:8.1f} {cells['tgminer'][1]:9.1f}"
+        )
+    n = len(rows)
+    avg = {m: (p / n * 100, r / n * 100) for m, (p, r) in sums.items()}
+    emit(
+        f"{'Average':20s} | {avg['nodeset'][0]:9.1f} {avg['ntemp'][0]:8.1f} "
+        f"{avg['tgminer'][0]:9.1f} | {avg['nodeset'][1]:9.1f} "
+        f"{avg['ntemp'][1]:8.1f} {avg['tgminer'][1]:9.1f}"
+    )
+    # paper's headline ordering
+    assert avg["tgminer"][0] >= avg["ntemp"][0] >= avg["nodeset"][0]
+    assert avg["tgminer"][0] >= 90.0
+    assert avg["tgminer"][1] >= 80.0

@@ -1,0 +1,59 @@
+"""repro — reproduction of "Behavior Query Discovery in System-Generated
+Temporal Graphs" (Zong et al., VLDB 2015).
+
+The package ships four layers:
+
+* :mod:`repro.core` — temporal graphs/patterns and the TGMiner
+  discriminative pattern miner with all pruning machinery;
+* :mod:`repro.syscall` — a syscall-activity simulator standing in for the
+  paper's instrumented servers (training/test data generation);
+* :mod:`repro.query` — behavior-query search over monitoring graphs and
+  precision/recall evaluation;
+* :mod:`repro.baselines` — the Ntemp (non-temporal gSpan-style) and
+  NodeSet (discriminative keyword) accuracy baselines.
+
+Quickstart::
+
+    from repro import TGMiner, MinerConfig
+    from repro.syscall import build_training_data
+
+    data = build_training_data(seed=7)
+    sshd = data.behavior("sshd-login")
+    result = TGMiner(MinerConfig(max_edges=6)).mine(sshd, data.background)
+    print(result.best[0].pattern.describe())
+"""
+
+from repro.core import (
+    GTest,
+    InformationGain,
+    LogRatio,
+    MinedPattern,
+    MinerConfig,
+    MiningResult,
+    MiningStats,
+    ScoreFunction,
+    TemporalEdge,
+    TemporalGraph,
+    TemporalPattern,
+    TGMiner,
+    miner_variant,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TemporalEdge",
+    "TemporalGraph",
+    "TemporalPattern",
+    "TGMiner",
+    "MinerConfig",
+    "MinedPattern",
+    "MiningResult",
+    "MiningStats",
+    "miner_variant",
+    "ScoreFunction",
+    "LogRatio",
+    "GTest",
+    "InformationGain",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Accuracy baselines of the paper's Section 6.2: Ntemp and NodeSet."""
+
+from repro.baselines.gspan import NonTemporalMiner, NonTemporalPattern
+from repro.baselines.nodeset import NodeSetQuery, mine_nodeset_query
+from repro.baselines.ntemp import mine_ntemp_queries
+
+__all__ = [
+    "NonTemporalMiner",
+    "NonTemporalPattern",
+    "NodeSetQuery",
+    "mine_nodeset_query",
+    "mine_ntemp_queries",
+]

@@ -1,0 +1,380 @@
+"""Discriminative *non-temporal* subgraph mining (the ``Ntemp`` substrate).
+
+The paper's ``Ntemp`` accuracy baseline strips all temporal information
+from the training data, mines discriminative non-temporal graph patterns
+with a gSpan/GAIA-style algorithm [11, 31], and uses those patterns as
+(temporal-order-free) behavior queries.  Multi-edges are collapsed into
+single edges first, exactly as the paper notes canonical-labeling miners
+must do.
+
+This module implements the miner:
+
+* patterns are connected, node-labeled, directed *simple* graphs;
+* growth extends a pattern by one data edge touching the current
+  embedding (pattern-growth with embedding lists, as in gSpan);
+* duplicate patterns reached through different growth orders — the
+  problem canonical DFS codes solve in gSpan — are detected through their
+  **embedding footprint**: two isomorphic patterns (and, more generally,
+  two patterns indistinguishable on the dataset) occupy exactly the same
+  edge sets in every data graph, so hashing the set of matched edge sets
+  deduplicates the search without a minimality test.  This keeps the
+  baseline honest (same search space, same results) while staying
+  tractable in pure Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.core.errors import MiningError
+from repro.core.graph import TemporalGraph
+from repro.core.scoring import ScoreFunction, resolve_score
+
+__all__ = [
+    "NonTemporalGraph",
+    "NonTemporalPattern",
+    "NonTemporalMiner",
+    "NonTemporalMinerConfig",
+    "collapse_multi_edges",
+]
+
+
+@dataclass(frozen=True)
+class NonTemporalGraph:
+    """A simple directed node-labeled graph (time stripped, multi-edges collapsed)."""
+
+    labels: tuple[str, ...]
+    edges: tuple[tuple[int, int], ...]
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self.labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (collapsed) edges."""
+        return len(self.edges)
+
+
+def collapse_multi_edges(graph: TemporalGraph) -> NonTemporalGraph:
+    """Strip timestamps and collapse parallel edges of a temporal graph."""
+    seen: set[tuple[int, int]] = set()
+    simple: list[tuple[int, int]] = []
+    for edge in graph.edges:
+        key = (edge.src, edge.dst)
+        if key not in seen and edge.src != edge.dst:
+            seen.add(key)
+            simple.append(key)
+    return NonTemporalGraph(labels=tuple(graph.labels), edges=tuple(simple))
+
+
+@dataclass(frozen=True)
+class NonTemporalPattern:
+    """A connected, node-labeled, directed simple pattern.
+
+    Node ids follow discovery order during growth; equality is structural
+    on the stored representation (the miner deduplicates isomorphic
+    duplicates through embedding footprints, so representation-level
+    equality suffices downstream).
+    """
+
+    labels: tuple[str, ...]
+    edges: tuple[tuple[int, int], ...]
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self.labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges."""
+        return len(self.edges)
+
+    def label(self, node: int) -> str:
+        """Label of pattern node ``node``."""
+        return self.labels[node]
+
+    def describe(self) -> str:
+        """Human-readable rendering used by examples."""
+        lines = [f"non-temporal pattern, {self.num_nodes} nodes / {self.num_edges} edges:"]
+        for u, v in self.edges:
+            lines.append(f"  {self.labels[u]} ({u}) -> {self.labels[v]} ({v})")
+        return "\n".join(lines)
+
+
+class _Embedding:
+    """A pattern occurrence: node images plus the set of used data edges."""
+
+    __slots__ = ("nodes", "edge_keys")
+
+    def __init__(self, nodes: tuple[int, ...], edge_keys: frozenset[tuple[int, int]]):
+        self.nodes = nodes
+        self.edge_keys = edge_keys
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _Embedding):
+            return NotImplemented
+        return self.nodes == other.nodes and self.edge_keys == other.edge_keys
+
+    def __hash__(self) -> int:
+        return hash((self.nodes, self.edge_keys))
+
+
+@dataclass(frozen=True)
+class NonTemporalMinerConfig:
+    """Knobs mirroring :class:`repro.core.miner.MinerConfig` sans temporal bits."""
+
+    max_edges: int = 6
+    min_pos_support: float = 0.5
+    score: str | ScoreFunction = "log-ratio"
+    max_best_patterns: int = 64
+    max_seconds: float | None = None
+
+
+@dataclass
+class NonTemporalMined:
+    """A scored non-temporal pattern."""
+
+    pattern: NonTemporalPattern
+    score: float
+    pos_freq: float
+    neg_freq: float
+
+
+@dataclass
+class NonTemporalResult:
+    """Result of a non-temporal mining run."""
+
+    best_score: float
+    best: list[NonTemporalMined] = field(default_factory=list)
+    best_by_size: dict[int, NonTemporalMined] = field(default_factory=dict)
+    patterns_explored: int = 0
+
+
+class NonTemporalMiner:
+    """Discriminative miner over time-stripped graphs (Ntemp substrate)."""
+
+    def __init__(self, config: NonTemporalMinerConfig | None = None) -> None:
+        self.config = config or NonTemporalMinerConfig()
+        if self.config.max_edges < 1:
+            raise MiningError("max_edges must be >= 1")
+
+    def mine(
+        self,
+        positives: Sequence[TemporalGraph],
+        negatives: Sequence[TemporalGraph],
+    ) -> NonTemporalResult:
+        """Mine the most discriminative non-temporal patterns."""
+        if not positives:
+            raise MiningError("positive graph set must not be empty")
+        pos = [collapse_multi_edges(g) for g in positives]
+        neg = [collapse_multi_edges(g) for g in negatives]
+        run = _Run(self.config, pos, neg)
+        return run.execute()
+
+
+class _Run:
+    def __init__(
+        self,
+        config: NonTemporalMinerConfig,
+        positives: list[NonTemporalGraph],
+        negatives: list[NonTemporalGraph],
+    ) -> None:
+        self.config = config
+        self.positives = positives
+        self.negatives = negatives
+        self.n_pos = len(positives)
+        self.n_neg = max(len(negatives), 1)
+        self.score_fn = resolve_score(config.score, self.n_pos, self.n_neg)
+        self.result = NonTemporalResult(best_score=float("-inf"))
+        # Footprint-based duplicate detection across the whole search.
+        self.seen_footprints: set[tuple] = set()
+        import time as _time
+
+        self.deadline = (
+            _time.perf_counter() + config.max_seconds
+            if config.max_seconds is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    def execute(self) -> NonTemporalResult:
+        seeds: dict[tuple[str, str], dict[tuple[bool, int], set[_Embedding]]] = {}
+        for polarity, graphs in ((True, self.positives), (False, self.negatives)):
+            for gid, graph in enumerate(graphs):
+                for u, v in graph.edges:
+                    key = (graph.labels[u], graph.labels[v])
+                    table = seeds.setdefault(key, {})
+                    emb = _Embedding((u, v), frozenset(((u, v),)))
+                    table.setdefault((polarity, gid), set()).add(emb)
+        min_count = self.config.min_pos_support * self.n_pos
+        for src_label, dst_label in sorted(seeds):
+            table = seeds[(src_label, dst_label)]
+            pos_count = sum(1 for (polarity, _g) in table if polarity)
+            if pos_count < min_count:
+                continue
+            pattern = NonTemporalPattern((src_label, dst_label), ((0, 1),))
+            self._dfs(pattern, table)
+            if self._out_of_time():
+                break
+        self.result.best.sort(key=lambda m: str((m.pattern.labels, m.pattern.edges)))
+        return self.result
+
+    # ------------------------------------------------------------------
+    def _dfs(
+        self,
+        pattern: NonTemporalPattern,
+        embeddings: dict[tuple[bool, int], set[_Embedding]],
+    ) -> None:
+        footprint = self._footprint(embeddings)
+        if footprint in self.seen_footprints:
+            return
+        self.seen_footprints.add(footprint)
+        self.result.patterns_explored += 1
+        pos_freq = sum(1 for (pol, _g) in embeddings if pol) / self.n_pos
+        neg_freq = sum(1 for (pol, _g) in embeddings if not pol) / self.n_neg
+        score = self.score_fn.score(pos_freq, neg_freq)
+        self._record(pattern, score, pos_freq, neg_freq)
+        if pattern.num_edges >= self.config.max_edges or self._out_of_time():
+            return
+        if self.score_fn.upper_bound(pos_freq) < self.result.best_score:
+            return
+        min_count = self.config.min_pos_support * self.n_pos
+        for key, child_embs in sorted(
+            self._extensions(embeddings).items(),
+            key=lambda kv: (kv[0][0], str(kv[0][1]), str(kv[0][2])),
+        ):
+            pos_count = sum(1 for (pol, _g) in child_embs if pol)
+            if pos_count < min_count:
+                continue
+            child = self._child(pattern, key)
+            self._dfs(child, child_embs)
+
+    def _extensions(
+        self, embeddings: dict[tuple[bool, int], set[_Embedding]]
+    ) -> dict[tuple[str, object, object], dict[tuple[bool, int], set[_Embedding]]]:
+        out: dict = {}
+        for (polarity, gid), emb_set in embeddings.items():
+            graph = self.positives[gid] if polarity else self.negatives[gid]
+            for emb in emb_set:
+                node_to_p = {dn: pi for pi, dn in enumerate(emb.nodes)}
+                for u, v in graph.edges:
+                    if (u, v) in emb.edge_keys:
+                        continue
+                    pu = node_to_p.get(u)
+                    pv = node_to_p.get(v)
+                    if pu is None and pv is None:
+                        continue
+                    if pv is None:
+                        key = ("f", pu, graph.labels[v])
+                        new_nodes = emb.nodes + (v,)
+                    elif pu is None:
+                        key = ("b", graph.labels[u], pv)
+                        new_nodes = emb.nodes + (u,)
+                    else:
+                        key = ("i", pu, pv)
+                        new_nodes = emb.nodes
+                    child = _Embedding(new_nodes, emb.edge_keys | {(u, v)})
+                    out.setdefault(key, {}).setdefault((polarity, gid), set()).add(child)
+        return out
+
+    @staticmethod
+    def _child(
+        pattern: NonTemporalPattern, key: tuple[str, object, object]
+    ) -> NonTemporalPattern:
+        kind, a, b = key
+        n = pattern.num_nodes
+        if kind == "f":
+            return NonTemporalPattern(
+                pattern.labels + (str(b),), pattern.edges + ((int(a), n),)
+            )
+        if kind == "b":
+            return NonTemporalPattern(
+                pattern.labels + (str(a),), pattern.edges + ((n, int(b)),)
+            )
+        return NonTemporalPattern(pattern.labels, pattern.edges + ((int(a), int(b)),))
+
+    def _footprint(self, embeddings: dict[tuple[bool, int], set[_Embedding]]) -> tuple:
+        # The footprint stores the full matched-edge-set structure (not a
+        # hash of it) so distinct patterns can never collide.
+        parts = []
+        for key in sorted(embeddings):
+            edge_sets = frozenset(emb.edge_keys for emb in embeddings[key])
+            parts.append((key, edge_sets))
+        return tuple(parts)
+
+    def _record(
+        self, pattern: NonTemporalPattern, score: float, pos_freq: float, neg_freq: float
+    ) -> None:
+        mined = NonTemporalMined(pattern, score, pos_freq, neg_freq)
+        size = pattern.num_edges
+        incumbent = self.result.best_by_size.get(size)
+        if incumbent is None or score > incumbent.score:
+            self.result.best_by_size[size] = mined
+        if score > self.result.best_score:
+            self.result.best_score = score
+            self.result.best = [mined]
+        elif (
+            score == self.result.best_score
+            and len(self.result.best) < self.config.max_best_patterns
+        ):
+            self.result.best.append(mined)
+
+    def _out_of_time(self) -> bool:
+        if self.deadline is None:
+            return False
+        import time as _time
+
+        return _time.perf_counter() > self.deadline
+
+
+def enumerate_nontemporal_matches(
+    pattern: NonTemporalPattern,
+    labels: Sequence[str],
+    adjacency: dict[tuple[int, int], bool] | set[tuple[int, int]],
+    nodes_by_label: dict[str, Sequence[int]],
+    limit: int | None = None,
+) -> Iterator[tuple[int, ...]]:
+    """Enumerate injective node mappings of a non-temporal pattern.
+
+    Generic helper shared with the query engine: ``adjacency`` is the set
+    of directed edges of the (windowed) data graph, ``nodes_by_label``
+    indexes its nodes.
+    """
+    n = pattern.num_nodes
+    assignment: list[int] = [-1] * n
+    used: set[int] = set()
+    # Constraints per node: edges to earlier-ordered nodes.
+    order = list(range(n))
+    emitted = 0
+
+    def ok(node: int, cand: int) -> bool:
+        for u, v in pattern.edges:
+            if u == node and assignment[v] != -1 and (cand, assignment[v]) not in adjacency:
+                return False
+            if v == node and assignment[u] != -1 and (assignment[u], cand) not in adjacency:
+                return False
+        return True
+
+    def search(depth: int) -> Iterator[tuple[int, ...]]:
+        nonlocal emitted
+        if depth == n:
+            yield tuple(assignment)
+            emitted += 1
+            return
+        node = order[depth]
+        for cand in nodes_by_label.get(pattern.label(node), ()):
+            if cand in used or not ok(node, cand):
+                continue
+            assignment[node] = cand
+            used.add(cand)
+            yield from search(depth + 1)
+            used.discard(cand)
+            assignment[node] = -1
+            if limit is not None and emitted >= limit:
+                return
+
+    yield from search(0)

@@ -1,0 +1,94 @@
+"""The ``NodeSet`` keyword-query baseline (paper Section 6.1).
+
+``NodeSet`` ignores graph structure entirely: it scores every node label
+with the same discriminative function ``F(x, y)`` used for patterns —
+where ``x``/``y`` are the fractions of positive/negative training graphs
+containing the label — and forms a query from the top-``k`` labels.  A
+match in monitoring data is any set of ``k`` nodes carrying exactly those
+labels whose spanned time interval does not exceed the longest observed
+lifetime of the target behavior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.errors import MiningError
+from repro.core.graph import TemporalGraph
+from repro.core.scoring import ScoreFunction, resolve_score
+
+__all__ = ["NodeSetQuery", "mine_nodeset_query", "label_frequencies"]
+
+
+@dataclass(frozen=True)
+class NodeSetQuery:
+    """A keyword behavior query: ``k`` discriminative labels + a time cap.
+
+    Attributes
+    ----------
+    labels:
+        The top-``k`` discriminative node labels (distinct).
+    max_span:
+        Longest observed lifetime of the target behavior; a match's nodes
+        must all be active within a window of at most this length.
+    """
+
+    labels: tuple[str, ...]
+    max_span: int
+
+    @property
+    def size(self) -> int:
+        """Number of labels in the query."""
+        return len(self.labels)
+
+    def describe(self) -> str:
+        """Human-readable rendering used by examples."""
+        return (
+            f"node-set query (span <= {self.max_span}): "
+            + ", ".join(self.labels)
+        )
+
+
+def label_frequencies(graphs: Sequence[TemporalGraph]) -> dict[str, float]:
+    """Fraction of graphs containing each label (per-graph frequency)."""
+    counts: dict[str, int] = {}
+    for graph in graphs:
+        for label in graph.label_set():
+            counts[label] = counts.get(label, 0) + 1
+    total = max(len(graphs), 1)
+    return {label: count / total for label, count in counts.items()}
+
+
+def mine_nodeset_query(
+    positives: Sequence[TemporalGraph],
+    negatives: Sequence[TemporalGraph],
+    k: int = 6,
+    score: str | ScoreFunction = "log-ratio",
+) -> NodeSetQuery:
+    """Build the top-``k`` discriminative label query for a behavior.
+
+    The behavior's longest observed lifetime (max edge-time span over the
+    positive graphs) becomes the match window cap, as in the paper.
+    """
+    if not positives:
+        raise MiningError("positive graph set must not be empty")
+    if k < 1:
+        raise MiningError("k must be >= 1")
+    score_fn = resolve_score(score, len(positives), max(len(negatives), 1))
+    pos_freq = label_frequencies(positives)
+    neg_freq = label_frequencies(negatives)
+    ranked = sorted(
+        pos_freq,
+        key=lambda label: (
+            -score_fn.score(pos_freq[label], neg_freq.get(label, 0.0)),
+            label,
+        ),
+    )
+    chosen = tuple(ranked[: min(k, len(ranked))])
+    max_span = 0
+    for graph in positives:
+        if graph.num_edges:
+            first, last = graph.span()
+            max_span = max(max_span, last - first)
+    return NodeSetQuery(labels=chosen, max_span=max_span)

@@ -1,0 +1,74 @@
+"""The ``Ntemp`` accuracy baseline pipeline (paper Section 6.1).
+
+``Ntemp`` removes all temporal information from the training data, mines
+discriminative *non-temporal* graph patterns (multi-edges collapsed), and
+uses the top-ranked patterns as behavior queries evaluated without edge
+order.  The pipeline mirrors the TGMiner query-formulation pipeline so
+Table 2 compares like with like:
+
+1. mine non-temporal discriminative patterns
+   (:class:`repro.baselines.gspan.NonTemporalMiner`);
+2. rank co-optimal patterns by the same Appendix-M interest score;
+3. return the top-``k`` patterns with the behavior's lifetime cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.baselines.gspan import (
+    NonTemporalMiner,
+    NonTemporalMinerConfig,
+    NonTemporalPattern,
+)
+from repro.core.graph import TemporalGraph
+from repro.core.ranking import InterestModel
+
+__all__ = ["NtempQuery", "mine_ntemp_queries"]
+
+
+@dataclass(frozen=True)
+class NtempQuery:
+    """A non-temporal behavior query plus its match window cap."""
+
+    pattern: NonTemporalPattern
+    max_span: int
+
+
+def mine_ntemp_queries(
+    positives: Sequence[TemporalGraph],
+    negatives: Sequence[TemporalGraph],
+    interest: InterestModel,
+    max_edges: int = 6,
+    top_k: int = 5,
+    min_pos_support: float = 0.5,
+    max_seconds: float | None = None,
+) -> list[NtempQuery]:
+    """Mine the top-``k`` non-temporal behavior queries for one behavior."""
+    miner = NonTemporalMiner(
+        NonTemporalMinerConfig(
+            max_edges=max_edges,
+            min_pos_support=min_pos_support,
+            max_seconds=max_seconds,
+        )
+    )
+    result = miner.mine(positives, negatives)
+    max_span = 0
+    for graph in positives:
+        if graph.num_edges:
+            first, last = graph.span()
+            max_span = max(max_span, last - first)
+
+    def pattern_interest(pattern: NonTemporalPattern) -> float:
+        return sum(interest.label_interest(pattern.label(n)) for n in range(pattern.num_nodes))
+
+    ranked = sorted(
+        result.best,
+        key=lambda m: (
+            -pattern_interest(m.pattern),
+            -m.pattern.num_edges,
+            str((m.pattern.labels, m.pattern.edges)),
+        ),
+    )
+    return [NtempQuery(m.pattern, max_span) for m in ranked[:top_k]]

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch one base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid temporal graphs or patterns."""
+
+
+class TimestampOrderError(GraphError):
+    """Raised when edge timestamps violate the total-order requirement.
+
+    The paper's data model (Section 2) requires edges of a temporal graph
+    to be totally ordered by timestamp.  Data with concurrent edges must be
+    sequentialized first (see :mod:`repro.core.concurrent`).
+    """
+
+
+class PatternError(GraphError):
+    """Raised for invalid temporal graph patterns (e.g. bad growth step)."""
+
+
+class MiningError(ReproError):
+    """Raised when a mining run is misconfigured or fails invariants."""
+
+
+class QueryError(ReproError):
+    """Raised for malformed behavior queries or query-engine misuse."""
+
+
+class DatasetError(ReproError):
+    """Raised by dataset builders, loaders, and the syscall simulator."""

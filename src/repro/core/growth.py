@@ -1,0 +1,140 @@
+"""Consecutive pattern growth with embedding bookkeeping (paper Section 3).
+
+Consecutive growth appends one edge with pattern timestamp ``|E|+1``; in
+the data this means a match of the grown pattern extends a match of the
+parent by one data edge whose timestamp is strictly larger than every
+already-matched edge — i.e. an edge of the parent match's *residual
+graph*.  The miner therefore never re-matches patterns from scratch: each
+pattern carries its embedding table and children inherit extended
+embeddings from a single scan over residual edges.
+
+Three growth options (Figure 5) keep T-connectivity and cover the whole
+pattern space (Theorem 1):
+
+* forward  — ``(u, v)`` with ``u`` mapped, ``v`` new;
+* backward — ``(u, v)`` with ``u`` new, ``v`` mapped;
+* inward   — both endpoints mapped (multi-edges allowed).
+
+Extension keys identify children uniquely (Lemma 3): two distinct keys
+always denote non-identical patterns, and each pattern has exactly one
+parent (its edge-prefix), so the depth-first search is repetition-free
+without canonical labeling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple, Sequence
+
+from repro.core.graph import TemporalGraph
+from repro.core.pattern import TemporalPattern
+
+__all__ = [
+    "Embedding",
+    "EmbeddingTable",
+    "ExtensionKey",
+    "seed_patterns",
+    "extend_embeddings",
+    "child_pattern",
+    "cut_points",
+]
+
+
+class Embedding(NamedTuple):
+    """A match footprint: node images plus the last matched edge index."""
+
+    nodes: tuple[int, ...]
+    last_index: int
+
+
+# graph index -> set of embeddings of one pattern in that graph.
+EmbeddingTable = dict[int, set[Embedding]]
+
+# ("f", src_pattern_node, new_dst_label) | ("b", new_src_label,
+# dst_pattern_node) | ("i", src_pattern_node, dst_pattern_node)
+ExtensionKey = tuple[str, object, object]
+
+
+def seed_patterns(
+    graphs: Sequence[TemporalGraph],
+) -> dict[tuple[str, str], EmbeddingTable]:
+    """Enumerate one-edge patterns and their embeddings over ``graphs``.
+
+    Returns a mapping from ``(src_label, dst_label)`` to the embedding
+    table of the corresponding one-edge pattern.  Self-loop data edges are
+    skipped: the pattern model has no self-loops (injective node mapping
+    over two distinct pattern nodes can never cover one).
+    """
+    seeds: dict[tuple[str, str], EmbeddingTable] = {}
+    for gid, graph in enumerate(graphs):
+        labels = graph.labels
+        for idx, edge in enumerate(graph.edges):
+            if edge.src == edge.dst:
+                continue
+            key = (labels[edge.src], labels[edge.dst])
+            table = seeds.setdefault(key, {})
+            table.setdefault(gid, set()).add(Embedding((edge.src, edge.dst), idx))
+    return seeds
+
+
+def extend_embeddings(
+    graphs: Sequence[TemporalGraph],
+    embeddings: EmbeddingTable,
+) -> dict[ExtensionKey, EmbeddingTable]:
+    """One scan over residual edges producing all children's embeddings.
+
+    For every embedding, every data edge after its cut point that touches
+    at least one mapped node yields a child embedding under the forward /
+    backward / inward extension key describing it at pattern level.
+    """
+    out: dict[ExtensionKey, EmbeddingTable] = {}
+    for gid, emb_set in embeddings.items():
+        graph = graphs[gid]
+        edges = graph.edges
+        labels = graph.labels
+        n_edges = len(edges)
+        for emb in emb_set:
+            node_to_pattern = {dn: pi for pi, dn in enumerate(emb.nodes)}
+            for idx in range(emb.last_index + 1, n_edges):
+                edge = edges[idx]
+                src_p = node_to_pattern.get(edge.src)
+                dst_p = node_to_pattern.get(edge.dst)
+                if src_p is None and dst_p is None:
+                    continue
+                if edge.src == edge.dst:
+                    continue
+                if dst_p is None:
+                    key: ExtensionKey = ("f", src_p, labels[edge.dst])
+                    new_nodes = emb.nodes + (edge.dst,)
+                elif src_p is None:
+                    key = ("b", labels[edge.src], dst_p)
+                    new_nodes = emb.nodes + (edge.src,)
+                else:
+                    key = ("i", src_p, dst_p)
+                    new_nodes = emb.nodes
+                table = out.setdefault(key, {})
+                table.setdefault(gid, set()).add(Embedding(new_nodes, idx))
+    return out
+
+
+def child_pattern(pattern: TemporalPattern, key: ExtensionKey) -> TemporalPattern:
+    """Instantiate the child pattern denoted by an extension key."""
+    kind, a, b = key
+    if kind == "f":
+        return pattern.grow_forward(int(a), str(b))
+    if kind == "b":
+        return pattern.grow_backward(str(a), int(b))
+    if kind == "i":
+        return pattern.grow_inward(int(a), int(b))
+    raise ValueError(f"unknown extension kind {kind!r}")
+
+
+def cut_points(embeddings: EmbeddingTable) -> Iterable[tuple[int, int]]:
+    """Yield ``(graph id, last edge index)`` per embedding (with repeats)."""
+    for gid, emb_set in embeddings.items():
+        for emb in emb_set:
+            yield (gid, emb.last_index)
+
+
+def sort_extension_keys(keys: Iterable[ExtensionKey]) -> list[ExtensionKey]:
+    """Deterministic ordering of mixed int/str extension keys."""
+    return sorted(keys, key=lambda k: (k[0], str(k[1]), str(k[2])))

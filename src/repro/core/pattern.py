@@ -1,0 +1,275 @@
+"""Temporal graph patterns.
+
+A temporal graph pattern (paper Section 2) is a temporal graph whose
+timestamps are *aligned*: the ``i``-th edge in temporal order carries
+timestamp ``i`` (1-based), so only the total edge order is kept.
+
+:class:`TemporalPattern` is immutable and stored in **normalized form**:
+
+* edges are listed in temporal order (edge ``i`` has timestamp ``i+1``);
+* node ids follow first-visit order under that traversal (for each edge
+  the source is visited before the destination).
+
+Lemma 1 of the paper guarantees the match mapping between two identical
+patterns is unique, so two patterns are temporally identical (``=t``) iff
+their normalized forms are equal — pattern equality and hashing are O(size)
+with no isomorphism search.
+
+Patterns grow only through *consecutive growth* (Section 3): the new edge
+receives timestamp ``|E|+1`` and must keep the pattern T-connected, which
+the three growth constructors (:meth:`TemporalPattern.grow_forward`,
+:meth:`TemporalPattern.grow_backward`, :meth:`TemporalPattern.grow_inward`)
+enforce by construction.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Iterator, Sequence
+
+from repro.core.errors import PatternError
+from repro.core.graph import TemporalGraph
+
+__all__ = ["TemporalPattern"]
+
+
+class TemporalPattern:
+    """An immutable, normalized T-connected temporal graph pattern.
+
+    Parameters
+    ----------
+    labels:
+        Node labels in first-visit order.
+    edges:
+        ``(src, dst)`` node-id pairs in temporal order; the ``i``-th entry
+        implicitly carries timestamp ``i + 1``.
+    _trusted:
+        Internal flag set by the growth constructors, which produce
+        normalized patterns by construction and skip re-validation.
+    """
+
+    __slots__ = ("_labels", "_edges", "_hash", "__dict__")
+
+    def __init__(
+        self,
+        labels: Sequence[str],
+        edges: Sequence[tuple[int, int]],
+        _trusted: bool = False,
+    ) -> None:
+        self._labels: tuple[str, ...] = tuple(labels)
+        self._edges: tuple[tuple[int, int], ...] = tuple(
+            (int(u), int(v)) for u, v in edges
+        )
+        self._hash: int | None = None
+        if not _trusted:
+            self._validate()
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def single_edge(cls, src_label: str, dst_label: str) -> "TemporalPattern":
+        """The one-edge pattern ``src_label -> dst_label``.
+
+        A self-loop-like pattern with equal labels still has two distinct
+        nodes; use ids 0 and 1.
+        """
+        return cls((src_label, dst_label), ((0, 1),), _trusted=True)
+
+    @classmethod
+    def from_graph(cls, graph: TemporalGraph) -> "TemporalPattern":
+        """Align ``graph`` into a pattern (timestamps -> 1..|E|).
+
+        Node ids are renumbered to first-visit order.  Raises
+        :class:`PatternError` if the graph is not T-connected, because only
+        T-connected patterns participate in mining (Section 2).
+        """
+        if not graph.frozen:
+            graph.freeze()
+        remap: dict[int, int] = {}
+        labels: list[str] = []
+        edges: list[tuple[int, int]] = []
+
+        def visit(node: int) -> int:
+            if node not in remap:
+                remap[node] = len(labels)
+                labels.append(graph.label(node))
+            return remap[node]
+
+        for edge in graph.edges:
+            edges.append((visit(edge.src), visit(edge.dst)))
+        return cls(labels, edges)
+
+    # ------------------------------------------------------------------
+    # growth (consecutive growth, Section 3)
+    # ------------------------------------------------------------------
+    def grow_forward(self, src: int, new_label: str) -> "TemporalPattern":
+        """Forward growth: new edge from existing ``src`` to a new node."""
+        if not (0 <= src < self.num_nodes):
+            raise PatternError(f"forward growth from unknown node {src}")
+        labels = self._labels + (new_label,)
+        edges = self._edges + ((src, self.num_nodes),)
+        return TemporalPattern(labels, edges, _trusted=True)
+
+    def grow_backward(self, new_label: str, dst: int) -> "TemporalPattern":
+        """Backward growth: new edge from a new node to existing ``dst``."""
+        if not (0 <= dst < self.num_nodes):
+            raise PatternError(f"backward growth into unknown node {dst}")
+        labels = self._labels + (new_label,)
+        edges = self._edges + ((self.num_nodes, dst),)
+        return TemporalPattern(labels, edges, _trusted=True)
+
+    def grow_inward(self, src: int, dst: int) -> "TemporalPattern":
+        """Inward growth: new edge between two existing nodes.
+
+        Multi-edges (including repeats of an existing ``(src, dst)`` pair)
+        are allowed, mirroring Figure 5 of the paper.
+        """
+        n = self.num_nodes
+        if not (0 <= src < n and 0 <= dst < n):
+            raise PatternError(f"inward growth with unknown endpoint ({src}, {dst})")
+        if src == dst:
+            raise PatternError("self-loop edges are not part of the pattern model")
+        return TemporalPattern(self._labels, self._edges + ((src, dst),), _trusted=True)
+
+    def prefix(self, num_edges: int) -> "TemporalPattern":
+        """The pattern formed by the first ``num_edges`` edges.
+
+        Every prefix of a T-connected pattern is itself T-connected, so
+        this is the (unique) ancestor at that depth in the growth tree.
+        """
+        if not (1 <= num_edges <= self.num_edges):
+            raise PatternError(f"prefix size {num_edges} out of range")
+        edges = self._edges[:num_edges]
+        used = max(max(u, v) for u, v in edges) + 1
+        return TemporalPattern(self._labels[:used], edges, _trusted=True)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """Node labels in first-visit order."""
+        return self._labels
+
+    @property
+    def edges(self) -> tuple[tuple[int, int], ...]:
+        """``(src, dst)`` pairs in temporal order (timestamp = index + 1)."""
+        return self._edges
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges; also the largest timestamp."""
+        return len(self._edges)
+
+    def label(self, node: int) -> str:
+        """Label of pattern node ``node``."""
+        return self._labels[node]
+
+    def label_set(self) -> frozenset[str]:
+        """Set of distinct node labels."""
+        return frozenset(self._labels)
+
+    @cached_property
+    def out_degrees(self) -> tuple[int, ...]:
+        """Out-degree per node (multi-edges counted)."""
+        deg = [0] * self.num_nodes
+        for u, _v in self._edges:
+            deg[u] += 1
+        return tuple(deg)
+
+    @cached_property
+    def in_degrees(self) -> tuple[int, ...]:
+        """In-degree per node (multi-edges counted)."""
+        deg = [0] * self.num_nodes
+        for _u, v in self._edges:
+            deg[v] += 1
+        return tuple(deg)
+
+    def iter_timed_edges(self) -> Iterator[tuple[int, int, int]]:
+        """Yield ``(src, dst, timestamp)`` with aligned timestamps."""
+        for i, (u, v) in enumerate(self._edges):
+            yield (u, v, i + 1)
+
+    def as_temporal_graph(self, name: str = "") -> TemporalGraph:
+        """Materialize this pattern as a frozen :class:`TemporalGraph`."""
+        graph = TemporalGraph(name=name)
+        for label in self._labels:
+            graph.add_node(label)
+        for u, v, t in self.iter_timed_edges():
+            graph.add_edge(u, v, t)
+        return graph.freeze()
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        n = self.num_nodes
+        if n == 0 or not self._edges:
+            raise PatternError("patterns must have at least one edge")
+        seen: set[int] = set()
+        expected_next = 0
+        for idx, (u, v) in enumerate(self._edges):
+            if not (0 <= u < n and 0 <= v < n):
+                raise PatternError(f"edge {idx} references unknown node")
+            if u == v:
+                raise PatternError("self-loop edges are not part of the pattern model")
+            for node in (u, v):
+                if node not in seen:
+                    if node != expected_next:
+                        raise PatternError(
+                            "node ids must follow first-visit order "
+                            f"(saw {node}, expected {expected_next})"
+                        )
+                    seen.add(node)
+                    expected_next += 1
+            if idx > 0 and u not in seen_before and v not in seen_before:
+                raise PatternError("pattern is not T-connected")
+            seen_before = set(seen)
+        if expected_next != n:
+            raise PatternError("pattern has isolated nodes")
+        # T-connectivity: after each edge, the touched-node set must stay
+        # connected.  First-visit ordering already forbids an edge whose
+        # both endpoints are new (except the first edge), which is exactly
+        # the T-connectivity condition for incremental growth.
+        for idx in range(1, len(self._edges)):
+            u, v = self._edges[idx]
+            prior = {x for e in self._edges[:idx] for x in e}
+            if u not in prior and v not in prior:
+                raise PatternError("pattern is not T-connected")
+
+    # ------------------------------------------------------------------
+    # identity (=t) — Lemma 1 / Lemma 2
+    # ------------------------------------------------------------------
+    def key(self) -> tuple:
+        """A hashable identity key; equal keys iff patterns match (``=t``)."""
+        return (self._labels, self._edges)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TemporalPattern):
+            return NotImplemented
+        return self._labels == other._labels and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._labels, self._edges))
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        edge_strs = ", ".join(
+            f"{self._labels[u]}({u})->{self._labels[v]}({v})@{t}"
+            for u, v, t in self.iter_timed_edges()
+        )
+        return f"TemporalPattern[{edge_strs}]"
+
+    def describe(self) -> str:
+        """Human-readable multi-line rendering used by examples/benchmarks."""
+        lines = [f"pattern with {self.num_nodes} nodes, {self.num_edges} edges:"]
+        for u, v, t in self.iter_timed_edges():
+            lines.append(f"  t={t}: {self._labels[u]} ({u}) -> {self._labels[v]} ({v})")
+        return "\n".join(lines)

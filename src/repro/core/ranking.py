@@ -1,0 +1,106 @@
+"""Domain-knowledge based pattern ranking (paper Appendix M).
+
+TGMiner frequently returns several patterns tied at the highest
+discriminative score.  The paper breaks ties with an *interest score*
+derived from domain knowledge:
+
+* a node label ``l`` scores ``interest(l) = 1 / freq(l)`` where
+  ``freq(l)`` counts the training graphs containing ``l`` — rare labels
+  carry more security signal;
+* labels on a *blacklist* (temp files, cache files, ``/proc`` counters,
+  ...) are forced to zero interest;
+* a pattern's interest is the sum over its nodes, and the top-5 patterns
+  become behavior queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.graph import TemporalGraph
+from repro.core.miner import MinedPattern
+from repro.core.pattern import TemporalPattern
+
+__all__ = ["InterestModel", "DEFAULT_BLACKLIST", "rank_patterns", "select_queries"]
+
+#: Label substrings that carry little security-relevant information; any
+#: label containing one of these is blacklisted (paper Appendix M lists
+#: "TmpFile", "CacheFile", "/proc/stat/*" as examples).
+DEFAULT_BLACKLIST: tuple[str, ...] = (
+    "tmp",
+    "cache",
+    "/proc/",
+    "urandom",
+    "locale",
+)
+
+
+@dataclass
+class InterestModel:
+    """Per-label interest scores learned from a training corpus.
+
+    Parameters
+    ----------
+    blacklist:
+        Substrings that zero out a label's interest (case-insensitive).
+    """
+
+    blacklist: Sequence[str] = DEFAULT_BLACKLIST
+    _freq: dict[str, int] = field(default_factory=dict)
+    _total_graphs: int = 0
+
+    @classmethod
+    def fit(
+        cls,
+        graphs: Iterable[TemporalGraph],
+        blacklist: Sequence[str] = DEFAULT_BLACKLIST,
+    ) -> "InterestModel":
+        """Count per-graph label occurrences over the training data."""
+        model = cls(blacklist=tuple(blacklist))
+        for graph in graphs:
+            model._total_graphs += 1
+            for label in graph.label_set():
+                model._freq[label] = model._freq.get(label, 0) + 1
+        return model
+
+    def label_interest(self, label: str) -> float:
+        """``1 / freq(label)``, or 0 for blacklisted / unseen labels."""
+        lowered = label.lower()
+        if any(token in lowered for token in self.blacklist):
+            return 0.0
+        count = self._freq.get(label, 0)
+        if count == 0:
+            return 0.0
+        return 1.0 / count
+
+    def pattern_interest(self, pattern: TemporalPattern) -> float:
+        """Sum of node-label interests over the pattern's nodes."""
+        return sum(self.label_interest(pattern.label(n)) for n in range(pattern.num_nodes))
+
+
+def rank_patterns(
+    mined: Sequence[MinedPattern], model: InterestModel
+) -> list[MinedPattern]:
+    """Order co-optimal patterns by interest score (descending).
+
+    Ties on interest break deterministically by pattern size (larger
+    first: more context in the query) and then by pattern identity.
+    """
+    return sorted(
+        mined,
+        key=lambda m: (
+            -model.pattern_interest(m.pattern),
+            -m.pattern.num_edges,
+            str(m.pattern.key()),
+        ),
+    )
+
+
+def select_queries(
+    mined: Sequence[MinedPattern],
+    model: InterestModel,
+    top_k: int = 5,
+) -> list[TemporalPattern]:
+    """Pick the top-``k`` patterns as behavior queries (paper uses k=5)."""
+    return [m.pattern for m in rank_patterns(mined, model)[:top_k]]

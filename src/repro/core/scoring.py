@@ -1,0 +1,141 @@
+"""Discriminative score functions ``F(x, y)`` (paper Problem 1).
+
+A valid score function must satisfy *partial (anti-)monotonicity*:
+
+* for fixed positive frequency ``x``, a smaller negative frequency ``y``
+  gives a larger score;
+* for fixed ``y``, a larger ``x`` gives a larger score.
+
+The paper names three members of the family, all implemented here:
+
+* :class:`LogRatio` — ``F(x, y) = log(x / (y + ε))``, the function adopted
+  from GAIA [11] and used as the default in the experiments;
+* :class:`GTest` — the G-test statistic of leap search [30];
+* :class:`InformationGain` — reduction of class entropy by the pattern
+  indicator feature.
+
+Every function exposes ``upper_bound(x) = F(x, 0)``, the (theoretically
+tight, practically weak — Section 4.1) bound on any supergraph's score
+used by the naive pruning condition.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["ScoreFunction", "LogRatio", "GTest", "InformationGain", "resolve_score"]
+
+
+class ScoreFunction:
+    """Interface for discriminative score functions."""
+
+    name: str = "abstract"
+
+    def score(self, pos_freq: float, neg_freq: float) -> float:
+        """Score a pattern with the given positive/negative frequencies."""
+        raise NotImplementedError
+
+    def upper_bound(self, pos_freq: float) -> float:
+        """Largest score any supergraph could reach: ``F(pos_freq, 0)``.
+
+        Supergraphs can only lose positive frequency (anti-monotone) and
+        their negative frequency is at best 0, so with partial
+        (anti-)monotonicity ``F(x', y') <= F(x, 0)``.
+        """
+        return self.score(pos_freq, 0.0)
+
+    def __call__(self, pos_freq: float, neg_freq: float) -> float:
+        return self.score(pos_freq, neg_freq)
+
+
+@dataclass(frozen=True)
+class LogRatio(ScoreFunction):
+    """``F(x, y) = log(x / (y + ε))`` with ``ε = 1e-6`` as in the paper."""
+
+    epsilon: float = 1e-6
+    name: str = "log-ratio"
+
+    def score(self, pos_freq: float, neg_freq: float) -> float:
+        if pos_freq <= 0.0:
+            return float("-inf")
+        return math.log(pos_freq / (neg_freq + self.epsilon))
+
+
+@dataclass(frozen=True)
+class GTest(ScoreFunction):
+    """G-test score: ``2 n_pos * [x ln(x/y') + (1-x) ln((1-x)/(1-y'))]``.
+
+    ``y`` is clamped into ``[ε, 1-ε]`` so the statistic stays finite and
+    partially (anti-)monotone on the discriminative region ``x > y``; the
+    leading factor uses the positive-set size when provided, else 1.
+    """
+
+    n_pos: int = 1
+    epsilon: float = 1e-6
+    name: str = "g-test"
+
+    def score(self, pos_freq: float, neg_freq: float) -> float:
+        x = min(max(pos_freq, self.epsilon), 1.0 - self.epsilon)
+        y = min(max(neg_freq, self.epsilon), 1.0 - self.epsilon)
+        g = x * math.log(x / y) + (1.0 - x) * math.log((1.0 - x) / (1.0 - y))
+        # Signed statistic: patterns more frequent in the negative set
+        # must rank below patterns more frequent in the positive set.
+        signed = g if pos_freq >= neg_freq else -g
+        return 2.0 * self.n_pos * signed
+
+
+@dataclass(frozen=True)
+class InformationGain(ScoreFunction):
+    """Information gain of the pattern-presence feature on the class label.
+
+    Classes are weighted by the set sizes ``n_pos`` / ``n_neg`` (defaults
+    model balanced sets).  Patterns present mostly in positive graphs
+    maximize the gain; the score is negated when the pattern skews
+    negative so that partial (anti-)monotonicity holds where the miner
+    operates (``x >= y``).
+    """
+
+    n_pos: int = 1
+    n_neg: int = 1
+    name: str = "info-gain"
+
+    def score(self, pos_freq: float, neg_freq: float) -> float:
+        total = self.n_pos + self.n_neg
+        p_class = self.n_pos / total
+        base = _entropy(p_class)
+        # P(pattern), P(class=positive | pattern present/absent).
+        p_pattern = (pos_freq * self.n_pos + neg_freq * self.n_neg) / total
+        if p_pattern <= 0.0 or p_pattern >= 1.0:
+            return 0.0
+        p_pos_given_present = (pos_freq * self.n_pos) / (p_pattern * total)
+        p_pos_given_absent = ((1.0 - pos_freq) * self.n_pos) / ((1.0 - p_pattern) * total)
+        gain = base - (
+            p_pattern * _entropy(p_pos_given_present)
+            + (1.0 - p_pattern) * _entropy(p_pos_given_absent)
+        )
+        return gain if pos_freq >= neg_freq else -gain
+
+
+def _entropy(p: float) -> float:
+    """Binary entropy in nats, safe at the endpoints."""
+    if p <= 0.0 or p >= 1.0:
+        return 0.0
+    return -(p * math.log(p) + (1.0 - p) * math.log(1.0 - p))
+
+
+def resolve_score(spec: str | ScoreFunction, n_pos: int = 1, n_neg: int = 1) -> ScoreFunction:
+    """Resolve a score-function spec (name or instance) to an instance.
+
+    Recognized names: ``"log-ratio"``, ``"g-test"``, ``"info-gain"``.
+    """
+    if isinstance(spec, ScoreFunction):
+        return spec
+    normalized = spec.lower().replace("_", "-")
+    if normalized in ("log-ratio", "logratio", "log"):
+        return LogRatio()
+    if normalized in ("g-test", "gtest"):
+        return GTest(n_pos=n_pos)
+    if normalized in ("info-gain", "infogain", "ig"):
+        return InformationGain(n_pos=n_pos, n_neg=n_neg)
+    raise ValueError(f"unknown score function: {spec!r}")

@@ -1,0 +1,162 @@
+"""Subsequence-test based temporal subgraph test (paper Section 4.3).
+
+Deciding ``g1 ⊆t g2`` is NP-complete (Proposition 3), but total edge order
+lets us search far less than general subgraph isomorphism.  Following
+Lemma 5 the test enumerates injective node mappings ``fs`` realizing
+``nodeseq(g1) ⊑ enhseq(g2)`` and accepts as soon as one of them satisfies
+``fs(edgeseq(g1)) ⊑ edgeseq(g2)``.
+
+The enumeration applies the Appendix J pruning techniques:
+
+* **label sequence test** — a label-level subsequence pre-test on both the
+  node and edge sequences rejects most non-subgraph pairs without any
+  mapping search;
+* **local information match** — a candidate mapping ``a -> b`` is dropped
+  when ``b``'s in/out degree cannot cover ``a``'s;
+* **prefix pruning** — failed search states ``(next g1 node, enhseq
+  position, used g2 nodes)`` are memoized so a prefix reached again through
+  a different assignment order is pruned immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.pattern import TemporalPattern
+from repro.core.sequence import encode, label_subsequence
+
+__all__ = ["SequenceSubgraphTester", "is_temporal_subgraph", "find_mapping"]
+
+
+@dataclass
+class SubgraphTestStats:
+    """Counters exposed for the efficiency experiments (Figure 13)."""
+
+    tests: int = 0
+    label_rejections: int = 0
+    mappings_tried: int = 0
+    prefix_hits: int = 0
+
+
+@dataclass
+class SequenceSubgraphTester:
+    """Reusable tester object carrying statistics counters.
+
+    The miner creates one tester per run so that the number of temporal
+    subgraph tests (70M+ in the paper's sshd-login workload) and the work
+    saved by each pruning technique can be reported.
+    """
+
+    use_label_test: bool = True
+    use_local_info: bool = True
+    use_prefix_pruning: bool = True
+    stats: SubgraphTestStats = field(default_factory=SubgraphTestStats)
+
+    # ------------------------------------------------------------------
+    def contains(self, small: TemporalPattern, big: TemporalPattern) -> bool:
+        """Return whether ``small ⊆t big``."""
+        return self.mapping(small, big) is not None
+
+    def mapping(
+        self, small: TemporalPattern, big: TemporalPattern
+    ) -> tuple[int, ...] | None:
+        """Return an injective node mapping proving ``small ⊆t big``.
+
+        The result maps small-pattern node ``i`` to big-pattern node
+        ``result[i]``; ``None`` when no temporal subgraph relation exists.
+        """
+        self.stats.tests += 1
+        if small.num_edges > big.num_edges or small.num_nodes > big.num_nodes:
+            return None
+        enc_small = encode(small)
+        enc_big = encode(big)
+        if self.use_label_test and not self._label_pretest(enc_small, enc_big):
+            self.stats.label_rejections += 1
+            return None
+
+        n_small = small.num_nodes
+        enh = enc_big.enhseq
+        enh_labels = enc_big.enh_labels
+        small_labels = enc_small.node_labels
+        small_out = small.out_degrees
+        small_in = small.in_degrees
+        big_out = big.out_degrees
+        big_in = big.in_degrees
+        small_edges = enc_small.edgeseq
+        big_edges = enc_big.edgeseq
+        # Memo of failed search states.  The key must include the full
+        # assignment prefix: the final edge-subsequence test depends on
+        # *which* small node maps to which big node, so caching on the
+        # used-node set alone would wrongly prune assignments that only
+        # differ by a permutation.  Distinct position choices that bind
+        # the same candidates can still converge on an identical state,
+        # which is when this memo saves work (Appendix J prefix pruning).
+        failed_states: set[tuple[int, int, tuple[int, ...]]] = set()
+        assignment: list[int] = [-1] * n_small
+        used: set[int] = set()
+
+        def edge_test() -> bool:
+            pos = 0
+            n_big_edges = len(big_edges)
+            for u, v in small_edges:
+                want = (assignment[u], assignment[v])
+                while pos < n_big_edges and big_edges[pos] != want:
+                    pos += 1
+                if pos == n_big_edges:
+                    return False
+                pos += 1
+            return True
+
+        def search(node: int, enh_from: int) -> bool:
+            if node == n_small:
+                self.stats.mappings_tried += 1
+                return edge_test()
+            state = (node, enh_from, tuple(assignment[:node]))
+            if self.use_prefix_pruning and state in failed_states:
+                self.stats.prefix_hits += 1
+                return False
+            label = small_labels[node]
+            for pos in range(enh_from, len(enh)):
+                if enh_labels[pos] != label:
+                    continue
+                cand = enh[pos]
+                if cand in used:
+                    continue
+                if self.use_local_info and (
+                    big_out[cand] < small_out[node] or big_in[cand] < small_in[node]
+                ):
+                    continue
+                assignment[node] = cand
+                used.add(cand)
+                if search(node + 1, pos + 1):
+                    return True
+                used.discard(cand)
+                assignment[node] = -1
+            if self.use_prefix_pruning:
+                failed_states.add(state)
+            return False
+
+        if search(0, 0):
+            return tuple(assignment)
+        return None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _label_pretest(enc_small, enc_big) -> bool:
+        """Label sequence test (Appendix J): necessary conditions only."""
+        if not label_subsequence(enc_small.node_labels, enc_big.enh_labels):
+            return False
+        return label_subsequence(enc_small.edge_label_pairs, enc_big.edge_label_pairs)
+
+
+_DEFAULT_TESTER = SequenceSubgraphTester()
+
+
+def is_temporal_subgraph(small: TemporalPattern, big: TemporalPattern) -> bool:
+    """Module-level convenience wrapper: ``small ⊆t big``."""
+    return _DEFAULT_TESTER.contains(small, big)
+
+
+def find_mapping(small: TemporalPattern, big: TemporalPattern) -> tuple[int, ...] | None:
+    """Module-level convenience wrapper returning a witness mapping."""
+    return _DEFAULT_TESTER.mapping(small, big)

@@ -1,0 +1,11 @@
+"""Dataset utilities: (de)serialization and synthetic scaling."""
+
+from repro.datasets.io import load_graphs_jsonl, save_graphs_jsonl
+from repro.datasets.synthetic import replicate_graphs, replicate_training_data
+
+__all__ = [
+    "load_graphs_jsonl",
+    "save_graphs_jsonl",
+    "replicate_graphs",
+    "replicate_training_data",
+]

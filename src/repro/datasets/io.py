@@ -1,0 +1,69 @@
+"""Temporal-graph (de)serialization.
+
+Graphs are stored one-per-line as JSON objects (``jsonl``) with the
+schema::
+
+    {"name": ..., "labels": [...], "edges": [[src, dst, time], ...]}
+
+The format round-trips exactly: labels by node id, edges with their
+original timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.errors import DatasetError
+from repro.core.graph import TemporalGraph
+
+__all__ = ["save_graphs_jsonl", "load_graphs_jsonl", "graph_to_dict", "graph_from_dict"]
+
+
+def graph_to_dict(graph: TemporalGraph) -> dict:
+    """Serialize one graph to a JSON-compatible dict."""
+    return {
+        "name": graph.name,
+        "labels": list(graph.labels),
+        "edges": [[e.src, e.dst, e.time] for e in graph.edges],
+    }
+
+
+def graph_from_dict(payload: dict) -> TemporalGraph:
+    """Deserialize one graph; validates and freezes it."""
+    try:
+        graph = TemporalGraph(name=payload.get("name", ""))
+        for label in payload["labels"]:
+            graph.add_node(str(label))
+        for src, dst, time in payload["edges"]:
+            graph.add_edge(int(src), int(dst), int(time))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DatasetError(f"malformed graph payload: {exc}") from exc
+    return graph.freeze()
+
+
+def save_graphs_jsonl(graphs: Iterable[TemporalGraph], path: str | Path) -> int:
+    """Write graphs to a jsonl file; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for graph in graphs:
+            handle.write(json.dumps(graph_to_dict(graph)) + "\n")
+            count += 1
+    return count
+
+
+def load_graphs_jsonl(path: str | Path) -> list[TemporalGraph]:
+    """Read graphs from a jsonl file."""
+    graphs: list[TemporalGraph] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise DatasetError(f"{path}:{line_no}: invalid JSON: {exc}") from exc
+            graphs.append(graph_from_dict(payload))
+    return graphs

@@ -1,0 +1,45 @@
+"""Synthetic scalability datasets (paper Appendix N).
+
+The paper's SYN-2 .. SYN-10 datasets replicate every training graph 2-10
+times to measure how mining time scales with training-set size
+(Figure 16).  Replication preserves per-graph structure exactly, so
+pattern frequencies — and thus the explored pattern space — stay fixed
+while the data volume grows linearly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.errors import DatasetError
+from repro.core.graph import TemporalGraph
+from repro.syscall.collector import TrainingData
+
+__all__ = ["replicate_graphs", "replicate_training_data"]
+
+
+def replicate_graphs(graphs: Sequence[TemporalGraph], factor: int) -> list[TemporalGraph]:
+    """Return each graph repeated ``factor`` times (SYN-``factor``).
+
+    Graphs are immutable once frozen, so replicas share the underlying
+    objects — matching the paper's protocol where replicas are byte-wise
+    copies of the originals.
+    """
+    if factor < 1:
+        raise DatasetError("replication factor must be >= 1")
+    out: list[TemporalGraph] = []
+    for _ in range(factor):
+        out.extend(graphs)
+    return out
+
+
+def replicate_training_data(data: TrainingData, factor: int) -> TrainingData:
+    """Replicate a whole training corpus (behaviors and background)."""
+    return TrainingData(
+        config=data.config,
+        behaviors={
+            name: replicate_graphs(graphs, factor)
+            for name, graphs in data.behaviors.items()
+        },
+        background=replicate_graphs(data.background, factor),
+    )

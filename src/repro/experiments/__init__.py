@@ -1,0 +1,21 @@
+"""Experiment harness shared by the benchmarks and examples."""
+
+from repro.experiments.harness import (
+    BehaviorAccuracy,
+    accuracy_for_behavior,
+    formulate_nodeset_query,
+    formulate_ntemp_queries,
+    formulate_tgminer_queries,
+    mine_behavior,
+    span_cap,
+)
+
+__all__ = [
+    "BehaviorAccuracy",
+    "accuracy_for_behavior",
+    "formulate_nodeset_query",
+    "formulate_ntemp_queries",
+    "formulate_tgminer_queries",
+    "mine_behavior",
+    "span_cap",
+]

@@ -1,0 +1,170 @@
+"""End-to-end pipeline pieces for the paper's experiments (Section 6).
+
+This module wires the full behavior-query formulation pipeline of
+Figure 2 — mine discriminative patterns on the training corpus, rank them
+with domain knowledge, search the test log, score precision/recall — so
+the per-table benchmark files stay short and declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.nodeset import NodeSetQuery, mine_nodeset_query
+from repro.baselines.ntemp import NtempQuery, mine_ntemp_queries
+from repro.core.miner import MinerConfig, MiningResult, TGMiner
+from repro.core.pattern import TemporalPattern
+from repro.core.ranking import InterestModel, rank_patterns
+from repro.query.engine import QueryEngine
+from repro.query.evaluation import PrecisionRecall, evaluate_spans, pool_spans
+from repro.syscall.collector import TestData, TrainingData
+
+__all__ = [
+    "span_cap",
+    "mine_behavior",
+    "formulate_tgminer_queries",
+    "formulate_ntemp_queries",
+    "formulate_nodeset_query",
+    "BehaviorAccuracy",
+    "accuracy_for_behavior",
+]
+
+#: Span slack converting closed-environment lifetimes to busy-host
+#: lifetimes.  Training logs contain only the behavior, while the test
+#: host interleaves `background_mix` extra events into every instance
+#: window, dilating spans measured on the event-index clock.
+DEFAULT_SPAN_SLACK = 2.5
+
+
+def span_cap(train: TrainingData, behavior: str, slack: float = DEFAULT_SPAN_SLACK) -> int:
+    """Match-window cap: longest observed lifetime with interleave slack."""
+    return int(train.max_lifetime(behavior) * slack)
+
+
+def interest_model(train: TrainingData) -> InterestModel:
+    """Fit the Appendix-M interest model over the whole training corpus."""
+    return InterestModel.fit(train.all_graphs())
+
+
+def mine_behavior(
+    train: TrainingData,
+    behavior: str,
+    config: MinerConfig | None = None,
+) -> MiningResult:
+    """Run TGMiner for one behavior (positives) vs. background (negatives)."""
+    miner = TGMiner(config or MinerConfig())
+    return miner.mine(train.behavior(behavior), train.background)
+
+
+def formulate_tgminer_queries(
+    train: TrainingData,
+    behavior: str,
+    max_edges: int = 6,
+    top_k: int = 5,
+    min_pos_support: float = 0.7,
+    max_seconds: float | None = None,
+    model: InterestModel | None = None,
+) -> list[TemporalPattern]:
+    """Full TGMiner query formulation: mine, rank, take top-k."""
+    result = mine_behavior(
+        train,
+        behavior,
+        MinerConfig(
+            max_edges=max_edges,
+            min_pos_support=min_pos_support,
+            max_seconds=max_seconds,
+        ),
+    )
+    model = model or interest_model(train)
+    ranked = rank_patterns(result.best, model)
+    return [m.pattern for m in ranked[:top_k]]
+
+
+def formulate_ntemp_queries(
+    train: TrainingData,
+    behavior: str,
+    max_edges: int = 6,
+    top_k: int = 5,
+    min_pos_support: float = 0.7,
+    max_seconds: float | None = None,
+    model: InterestModel | None = None,
+) -> list[NtempQuery]:
+    """Ntemp query formulation (non-temporal miner + same ranking)."""
+    model = model or interest_model(train)
+    return mine_ntemp_queries(
+        train.behavior(behavior),
+        train.background,
+        interest=model,
+        max_edges=max_edges,
+        top_k=top_k,
+        min_pos_support=min_pos_support,
+        max_seconds=max_seconds,
+    )
+
+
+def formulate_nodeset_query(
+    train: TrainingData, behavior: str, k: int = 6
+) -> NodeSetQuery:
+    """NodeSet query formulation (top-k discriminative labels)."""
+    return mine_nodeset_query(train.behavior(behavior), train.background, k=k)
+
+
+@dataclass
+class BehaviorAccuracy:
+    """Table 2 row: per-method precision/recall for one behavior."""
+
+    behavior: str
+    tgminer: PrecisionRecall | None = None
+    ntemp: PrecisionRecall | None = None
+    nodeset: PrecisionRecall | None = None
+
+
+def accuracy_for_behavior(
+    train: TrainingData,
+    test: TestData,
+    behavior: str,
+    engine: QueryEngine | None = None,
+    methods: tuple[str, ...] = ("tgminer", "ntemp", "nodeset"),
+    query_size: int = 6,
+    top_k: int = 5,
+    mining_seconds: float | None = 60.0,
+    model: InterestModel | None = None,
+) -> BehaviorAccuracy:
+    """Evaluate one behavior's queries under the requested methods."""
+    engine = engine or QueryEngine(test.graph)
+    cap = span_cap(train, behavior)
+    row = BehaviorAccuracy(behavior=behavior)
+    model = model or interest_model(train)
+
+    if "tgminer" in methods:
+        queries = formulate_tgminer_queries(
+            train,
+            behavior,
+            max_edges=query_size,
+            top_k=top_k,
+            max_seconds=mining_seconds,
+            model=model,
+        )
+        spans = pool_spans(engine.search_temporal(q, cap) for q in queries)
+        row.tgminer = evaluate_spans(behavior, spans, test.instances)
+
+    if "ntemp" in methods:
+        nqueries = formulate_ntemp_queries(
+            train,
+            behavior,
+            max_edges=query_size,
+            top_k=top_k,
+            max_seconds=mining_seconds,
+            model=model,
+        )
+        spans = pool_spans(
+            engine.search_nontemporal(q.pattern, cap) for q in nqueries
+        )
+        row.ntemp = evaluate_spans(behavior, spans, test.instances)
+
+    if "nodeset" in methods:
+        nodeset = formulate_nodeset_query(train, behavior, k=query_size)
+        spans = engine.search_nodeset(nodeset, max_span=cap)
+        row.nodeset = evaluate_spans(behavior, spans, test.instances)
+
+    return row

@@ -1,0 +1,9 @@
+"""Behavior-query search and accuracy evaluation (paper Section 6.2)."""
+
+from repro.query.engine import QueryEngine
+from repro.query.evaluation import (
+    PrecisionRecall,
+    evaluate_spans,
+)
+
+__all__ = ["QueryEngine", "PrecisionRecall", "evaluate_spans"]

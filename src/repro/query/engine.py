@@ -1,0 +1,198 @@
+"""Behavior-query search over monitoring graphs (paper Section 6.1).
+
+The paper treats query processing as an existing capability ([38]) — the
+contribution is *formulating* the queries.  This engine provides the
+three match semantics the experiments need, each returning the distinct
+time spans of identified instances:
+
+* **temporal** — a temporal-pattern match (order-preserving, Section 2)
+  whose span does not exceed the behavior's lifetime cap;
+* **non-temporal** — an ``Ntemp`` query: the pattern's structure matched
+  with edge order ignored, inside a bounded window around an anchor
+  occurrence;
+* **node-set** — a ``NodeSet`` keyword query: all ``k`` labels active
+  within a window no longer than the lifetime cap.
+
+Identified instances are deduplicated by their time span: the evaluation
+semantics of Section 6.2 judge an identified instance by the interval
+during which the match happened, so span-identical matches are one
+instance.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Sequence
+
+from repro.baselines.gspan import (
+    NonTemporalPattern,
+    enumerate_nontemporal_matches,
+)
+from repro.baselines.nodeset import NodeSetQuery
+from repro.core.errors import QueryError
+from repro.core.graph import TemporalGraph
+from repro.core.graph_index import find_matches, match_span
+from repro.core.pattern import TemporalPattern
+
+__all__ = ["QueryEngine"]
+
+Span = tuple[int, int]
+
+
+class QueryEngine:
+    """Searches one (large) monitoring temporal graph.
+
+    The engine is built once per test graph; the graph's one-edge index
+    (built at freeze time) is shared across all queries.
+    """
+
+    def __init__(self, graph: TemporalGraph) -> None:
+        if not graph.frozen:
+            graph.freeze()
+        self.graph = graph
+
+    # ------------------------------------------------------------------
+    # temporal behavior queries (TGMiner)
+    # ------------------------------------------------------------------
+    def search_temporal(
+        self,
+        pattern: TemporalPattern,
+        max_span: int,
+        match_limit: int = 200_000,
+    ) -> list[Span]:
+        """Distinct spans of temporal matches within the span cap."""
+        if max_span < 0:
+            raise QueryError("max_span must be non-negative")
+        spans: set[Span] = set()
+        for match in find_matches(
+            pattern, self.graph, max_span=max_span, limit=match_limit
+        ):
+            spans.add(match_span(match, self.graph))
+        return sorted(spans)
+
+    # ------------------------------------------------------------------
+    # non-temporal behavior queries (Ntemp)
+    # ------------------------------------------------------------------
+    def search_nontemporal(
+        self,
+        pattern: NonTemporalPattern,
+        max_span: int,
+        per_window_limit: int = 64,
+    ) -> list[Span]:
+        """Distinct spans of order-free structure matches.
+
+        The search anchors on the pattern's rarest label pair: every
+        occurrence of that pair defines a candidate window of width
+        ``2 * max_span`` in which the full structure is matched without
+        order constraints.  A match's span is the tightest interval
+        covering one occurrence of every pattern edge (each taken nearest
+        to the anchor).
+        """
+        if pattern.num_edges == 0:
+            raise QueryError("empty non-temporal pattern")
+        anchor_pair = min(
+            (
+                (pattern.label(u), pattern.label(v))
+                for u, v in pattern.edges
+            ),
+            key=lambda pair: len(self.graph.edges_between(*pair)),
+        )
+        anchor_edges = self.graph.edges_between(*anchor_pair)
+        spans: set[Span] = set()
+        seen_windows: set[Span] = set()
+        for idx in anchor_edges:
+            t = self.graph.edges[idx].time
+            lo, hi = max(0, t - max_span), t + max_span
+            if (lo, hi) in seen_windows:
+                continue
+            seen_windows.add((lo, hi))
+            window = self.graph.window(lo, hi)
+            spans |= self._match_window(pattern, window, t, max_span, per_window_limit)
+        return sorted(spans)
+
+    def _match_window(
+        self,
+        pattern: NonTemporalPattern,
+        window: TemporalGraph,
+        anchor_time: int,
+        max_span: int,
+        limit: int,
+    ) -> set[Span]:
+        adjacency: set[tuple[int, int]] = set()
+        pair_times: dict[tuple[int, int], list[int]] = {}
+        nodes_by_label: dict[str, list[int]] = {}
+        for node in range(window.num_nodes):
+            nodes_by_label.setdefault(window.label(node), []).append(node)
+        for edge in window.edges:
+            adjacency.add((edge.src, edge.dst))
+            pair_times.setdefault((edge.src, edge.dst), []).append(edge.time)
+        spans: set[Span] = set()
+        for assignment in enumerate_nontemporal_matches(
+            pattern, window.labels, adjacency, nodes_by_label, limit=limit
+        ):
+            times: list[int] = []
+            for u, v in pattern.edges:
+                options = pair_times[(assignment[u], assignment[v])]
+                nearest = min(options, key=lambda t: abs(t - anchor_time))
+                times.append(nearest)
+            lo, hi = min(times), max(times)
+            if hi - lo <= max_span:
+                spans.add((lo, hi))
+        return spans
+
+    # ------------------------------------------------------------------
+    # node-set keyword queries (NodeSet)
+    # ------------------------------------------------------------------
+    def search_nodeset(self, query: NodeSetQuery, max_span: int | None = None) -> list[Span]:
+        """Minimal windows where all query labels have active nodes.
+
+        Sweeps the label-activity event stream with two pointers and
+        records every *minimal* window covering all ``k`` labels whose
+        length respects the cap — each such window is one identified
+        instance.
+        """
+        cap = query.max_span if max_span is None else max_span
+        wanted = set(query.labels)
+        if not wanted:
+            raise QueryError("empty node-set query")
+        events: list[tuple[int, str]] = []
+        for edge in self.graph.edges:
+            src_label = self.graph.label(edge.src)
+            dst_label = self.graph.label(edge.dst)
+            if src_label in wanted:
+                events.append((edge.time, src_label))
+            if dst_label in wanted:
+                events.append((edge.time, dst_label))
+        events.sort()
+        spans: set[Span] = set()
+        counts: dict[str, int] = {}
+        covered = 0
+        left = 0
+        for right, (t_right, label_right) in enumerate(events):
+            counts[label_right] = counts.get(label_right, 0) + 1
+            if counts[label_right] == 1:
+                covered += 1
+            while covered == len(wanted):
+                t_left, label_left = events[left]
+                if t_right - t_left <= cap:
+                    spans.add((t_left, t_right))
+                counts[label_left] -= 1
+                if counts[label_left] == 0:
+                    covered -= 1
+                left += 1
+        return sorted(spans)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def label_activity(self, label: str) -> list[int]:
+        """Times at which a node with ``label`` touches an edge (sorted)."""
+        times: list[int] = []
+        for edge in self.graph.edges:
+            if self.graph.label(edge.src) == label or self.graph.label(edge.dst) == label:
+                times.append(edge.time)
+        return times
+
+    def count_in_interval(self, times: Sequence[int], start: int, end: int) -> int:
+        """Number of ``times`` within ``[start, end]`` (times sorted)."""
+        return bisect_right(times, end) - bisect_left(times, start)

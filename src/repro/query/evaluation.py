@@ -1,0 +1,107 @@
+"""Precision / recall evaluation of behavior queries (paper Section 6.2).
+
+Definitions from the paper:
+
+* an **identified instance** is a match of the behavior query, judged by
+  the time interval during which the match happened;
+* an identified instance is **correct** if its interval is fully
+  contained in the execution interval of a true instance of the target
+  behavior;
+* a true instance is **discovered** if at least one correct identified
+  instance falls inside it;
+* ``precision = #correct / #identified`` and
+  ``recall = #discovered / #instances``.
+
+When a behavior query consists of several patterns (the paper uses the
+top-5), the identified instances of all patterns are pooled before
+scoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.syscall.collector import GroundTruthInstance
+
+__all__ = ["PrecisionRecall", "evaluate_spans", "pool_spans"]
+
+Span = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class PrecisionRecall:
+    """Accuracy of one behavior query against the ground truth."""
+
+    behavior: str
+    identified: int
+    correct: int
+    discovered: int
+    total_instances: int
+
+    @property
+    def precision(self) -> float:
+        """``#correct / #identified`` (1.0 when nothing was identified)."""
+        if self.identified == 0:
+            return 1.0
+        return self.correct / self.identified
+
+    @property
+    def recall(self) -> float:
+        """``#discovered / #instances`` (1.0 when no instances exist)."""
+        if self.total_instances == 0:
+            return 1.0
+        return self.discovered / self.total_instances
+
+    def as_row(self) -> str:
+        """One formatted row for experiment tables."""
+        return (
+            f"{self.behavior:20s} precision={self.precision * 100:6.1f}% "
+            f"recall={self.recall * 100:6.1f}% "
+            f"({self.correct}/{self.identified} correct, "
+            f"{self.discovered}/{self.total_instances} discovered)"
+        )
+
+
+def pool_spans(span_lists: Iterable[Sequence[Span]]) -> list[Span]:
+    """Union the identified instances of several patterns (top-5 pooling)."""
+    pooled: set[Span] = set()
+    for spans in span_lists:
+        pooled.update(spans)
+    return sorted(pooled)
+
+
+def evaluate_spans(
+    behavior: str,
+    spans: Sequence[Span],
+    truth: Sequence[GroundTruthInstance],
+) -> PrecisionRecall:
+    """Score identified-instance spans against the ground truth.
+
+    ``truth`` may contain instances of all behaviors; only the target
+    behavior's instances count as correct containers, exactly as in the
+    paper (a match landing inside a *different* behavior's execution is a
+    false positive).
+    """
+    targets = sorted(
+        (gt for gt in truth if gt.behavior == behavior), key=lambda gt: gt.start
+    )
+    correct = 0
+    discovered_flags = [False] * len(targets)
+    starts = [gt.start for gt in targets]
+    from bisect import bisect_right
+
+    for start, end in spans:
+        # Instance intervals never overlap, so the only candidate
+        # container is the latest instance starting at or before `start`.
+        pos = bisect_right(starts, start) - 1
+        if pos >= 0 and targets[pos].end >= end:
+            discovered_flags[pos] = True
+            correct += 1
+    return PrecisionRecall(
+        behavior=behavior,
+        identified=len(spans),
+        correct=correct,
+        discovered=sum(discovered_flags),
+        total_instances=len(targets),
+    )

@@ -1,0 +1,53 @@
+"""Syscall-activity simulator: the paper's data-collection substrate.
+
+The paper trains on syscall logs from instrumented Ubuntu servers; this
+package generates behavior-faithful synthetic equivalents (see DESIGN.md
+for the substitution argument).  Public entry points:
+
+* :func:`build_training_data` — per-behavior positive sets + background;
+* :func:`build_test_data` — one long test graph with ground truth;
+* :data:`BEHAVIORS` / :data:`BEHAVIOR_NAMES` / :data:`SIZE_CLASSES` — the
+  12 behavior templates of Table 1.
+"""
+
+from repro.syscall.behaviors import (
+    BEHAVIOR_NAMES,
+    BEHAVIORS,
+    CATEGORIES,
+    SIZE_CLASSES,
+    BehaviorTemplate,
+    Step,
+    get_behavior,
+)
+from repro.syscall.collector import (
+    GroundTruthInstance,
+    TestConfig,
+    TestData,
+    TrainingConfig,
+    TrainingData,
+    build_test_data,
+    build_training_data,
+)
+from repro.syscall.events import SyscallEvent, events_to_graph, merge_streams
+from repro.syscall.simulator import ClosedEnvironment
+
+__all__ = [
+    "BEHAVIORS",
+    "BEHAVIOR_NAMES",
+    "CATEGORIES",
+    "SIZE_CLASSES",
+    "BehaviorTemplate",
+    "Step",
+    "get_behavior",
+    "SyscallEvent",
+    "events_to_graph",
+    "merge_streams",
+    "ClosedEnvironment",
+    "TrainingConfig",
+    "TrainingData",
+    "build_training_data",
+    "TestConfig",
+    "TestData",
+    "build_test_data",
+    "GroundTruthInstance",
+]

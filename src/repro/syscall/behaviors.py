@@ -1,0 +1,690 @@
+"""Behavior templates for the 12 target behaviors (paper Appendix L).
+
+Each template scripts the syscall activity of one security-relevant
+behavior as a sequence of :class:`Step` records over entity references.
+Instantiating a template plays the script with controlled randomness:
+
+* **core** steps form the behavior's discriminative temporal footprint
+  and always execute in order (unless the instance *aborts* — see below);
+* non-core steps execute with their per-step probability and random
+  repeat counts, producing the size variability of real logs;
+* **noise** events (common library/locale/tmp activity shared with every
+  other behavior and with the background) are interleaved at random
+  positions;
+* with probability ``abort_prob`` the instance aborts partway through its
+  core — the behavior ran but left an incomplete footprint, which is the
+  mechanism behind the sub-100% recall in the paper's Table 2.
+
+Family structure — the key to reproducing the accuracy gaps of Table 2 —
+is encoded deliberately:
+
+* the **ssh family** (``ssh-login``, ``scp-download``, ``sshd-login``)
+  shares the client-handshake labels; ``scp-download`` performs the same
+  handshake *in a different temporal order* and has **no scp-specific
+  process label** (scp really runs ``ssh`` underneath), so keyword and
+  non-temporal queries confuse the family members while temporal patterns
+  separate them;
+* the **login family** (``sshd-login``, ``ftpd-login``) shares the PAM
+  authentication labels (``/etc/shadow``, ``auth.log``, ``wtmp``) with
+  different orders/directions;
+* the **compile family** (``gcc``, ``g++``) shares assembler/linker
+  stages and differs in one compiler-proper label;
+* the **apt family** shares the package-list refresh fragment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.errors import DatasetError
+from repro.syscall.entities import LabelPools, Ref, fresh, persistent, pooled
+from repro.syscall.events import SyscallEvent
+
+__all__ = [
+    "Step",
+    "BehaviorTemplate",
+    "BEHAVIORS",
+    "BEHAVIOR_NAMES",
+    "SIZE_CLASSES",
+    "CATEGORIES",
+    "get_behavior",
+]
+
+
+@dataclass(frozen=True)
+class Step:
+    """One scripted interaction: ``src`` performs ``syscall`` on ``dst``."""
+
+    src: Ref
+    dst: Ref
+    syscall: str = "op"
+    prob: float = 1.0
+    repeat: tuple[int, int] = (1, 1)
+    core: bool = False
+
+
+# ----------------------------------------------------------------------
+# shared (persistent) entities — the common vocabulary every behavior and
+# the background touch, making them useless for discrimination
+# ----------------------------------------------------------------------
+BASH = persistent("proc:bash")
+CRON = persistent("proc:cron")
+RSYSLOG = persistent("proc:rsyslog")
+LIBC = persistent("file:/lib/libc.so.6")
+LDSO = persistent("file:/lib/ld-linux.so")
+LOCALE = persistent("file:/usr/lib/locale")
+PASSWD = persistent("file:/etc/passwd")
+NSSWITCH = persistent("file:/etc/nsswitch.conf")
+RESOLV = persistent("file:/etc/resolv.conf")
+HOSTS = persistent("file:/etc/hosts")
+PROC_STAT = persistent("file:/proc/stat")
+SYSLOG = persistent("file:/var/log/syslog")
+CRONTAB = persistent("file:/etc/crontab")
+
+# ssh family
+SSH_CFG = persistent("file:/etc/ssh/ssh_config")
+KNOWN_HOSTS = persistent("file:/home/.ssh/known_hosts")
+SSHD_CFG = persistent("file:/etc/ssh/sshd_config")
+PAM_SSHD = persistent("file:/etc/pam.d/sshd")
+PAM_FTPD = persistent("file:/etc/pam.d/ftpd")
+FTPUSERS = persistent("file:/etc/ftpusers")
+SHADOW = persistent("file:/etc/shadow")
+AUTH_LOG = persistent("file:/var/log/auth.log")
+WTMP = persistent("file:/var/log/wtmp")
+MOTD = persistent("file:/etc/motd")
+DEV_PTS = persistent("file:/dev/pts")
+
+# binaries / libraries — each behavior maps its own binary and a
+# characteristic library; family members share libraries on purpose
+MAGIC = persistent("file:/usr/share/misc/magic")
+BIN_BZIP2 = persistent("file:/usr/bin/bzip2")
+LIBBZ2 = persistent("file:/lib/libbz2.so.1")
+BIN_GZIP = persistent("file:/usr/bin/gzip")
+LIBZ = persistent("file:/lib/libz.so.1")
+BIN_WGET = persistent("file:/usr/bin/wget")
+WGETRC = persistent("file:/etc/wgetrc")
+BIN_FTP = persistent("file:/usr/bin/ftp")
+BIN_SSH = persistent("file:/usr/bin/ssh")
+LIBCRYPTO = persistent("file:/lib/libcrypto.so.3")
+BIN_SSHD = persistent("file:/usr/sbin/sshd")
+BIN_FTPD = persistent("file:/usr/sbin/ftpd")
+BIN_GCC = persistent("file:/usr/bin/gcc")
+BIN_GPP = persistent("file:/usr/bin/g++")
+BIN_APT = persistent("file:/usr/bin/apt-get")
+
+# download / compile / apt
+SSL_CERTS = persistent("file:/etc/ssl/certs")
+NETRC = persistent("file:/home/.netrc")
+WGET_HSTS = persistent("file:/home/.wget-hsts")
+CRT1 = persistent("file:/usr/lib/crt1.o")
+LIBC_A = persistent("file:/usr/lib/libc.a")
+LIBSTDCPP = persistent("file:/usr/lib/libstdc++.a")
+USR_INCLUDE = persistent("file:/usr/include/stdio.h")
+CPP_INCLUDE = persistent("file:/usr/include/c++/iostream")
+SOURCES_LIST = persistent("file:/etc/apt/sources.list")
+APT_LISTS = persistent("file:/var/lib/apt/lists")
+APT_LOCK = persistent("file:/var/lib/apt/lock")
+DPKG_STATUS = persistent("file:/var/lib/dpkg/status")
+LD_CACHE = persistent("file:/etc/ld.so.cache")
+
+
+def _prologue(proc: Ref) -> list[Step]:
+    """Process startup shared by every behavior: exec + loader activity."""
+    return [
+        Step(BASH, proc, "execve"),
+        Step(proc, LDSO, "open"),
+        Step(proc, LIBC, "open"),
+        Step(proc, LOCALE, "open", prob=0.7),
+    ]
+
+
+def _ssh_handshake(proc: Ref, sock: Ref, order: str) -> list[Step]:
+    """The shared ssh client handshake; ``order`` permutes the prefix.
+
+    ``"client"`` (ssh-login) reads config before known_hosts; ``"scp"``
+    reads them in the opposite order — the same edge set, so non-temporal
+    miners cannot tell the two behaviors apart, while the temporal order
+    separates them cleanly.
+    """
+    cfg = Step(proc, SSH_CFG, "open", core=True)
+    known = Step(proc, KNOWN_HOSTS, "open", core=True)
+    prefix = [cfg, known] if order == "client" else [known, cfg]
+    return prefix + [
+        Step(proc, sock, "connect", core=True),
+        Step(sock, proc, "recvmsg", core=True),
+        Step(proc, sock, "sendmsg", core=True),
+        Step(sock, proc, "recvmsg", core=True),
+    ]
+
+
+@dataclass(frozen=True)
+class BehaviorTemplate:
+    """A scripted behavior: steps, noise budget, and abort model."""
+
+    name: str
+    category: str
+    size_class: str
+    main: Ref
+    steps: tuple[Step, ...]
+    noise_range: tuple[int, int] = (2, 5)
+    abort_prob: float = 0.0
+    # Fraction of the core (by position) surviving an abort, sampled
+    # uniformly from this range.
+    abort_keep: tuple[float, float] = (0.25, 0.6)
+
+    def instantiate(
+        self,
+        rng: random.Random,
+        instance_id: str,
+        force_complete: bool | None = None,
+    ) -> list[SyscallEvent]:
+        """Play the script once; returns relative-time-ordered events.
+
+        ``force_complete=True`` disables the abort path (used by tests);
+        ``None`` samples it from ``abort_prob``.
+        """
+        pools = LabelPools(rng)
+        resolved: dict[str, tuple[str, str]] = {}
+
+        def resolve(ref: Ref) -> tuple[str, str]:
+            if ref.name not in resolved:
+                if ref.is_persistent:
+                    resolved[ref.name] = (ref.label, ref.label)
+                else:
+                    label = ref.label if ref.label is not None else pools.draw(ref.pool)
+                    resolved[ref.name] = (f"{ref.name}#{instance_id}", label)
+            return resolved[ref.name]
+
+        steps = list(self.steps)
+        aborted = (
+            rng.random() < self.abort_prob if force_complete is None else not force_complete
+        )
+        if aborted:
+            core_positions = [i for i, s in enumerate(steps) if s.core]
+            if len(core_positions) >= 2:
+                keep_frac = rng.uniform(*self.abort_keep)
+                keep_count = max(1, int(len(core_positions) * keep_frac))
+                cut_at = core_positions[min(keep_count, len(core_positions) - 1)]
+                steps = steps[:cut_at]
+
+        behavior_events: list[SyscallEvent] = []
+        for step in steps:
+            if not step.core and rng.random() > step.prob:
+                continue
+            count = rng.randint(*step.repeat)
+            src_key, src_label = resolve(step.src)
+            dst_key, dst_label = resolve(step.dst)
+            for _ in range(count):
+                behavior_events.append(
+                    SyscallEvent(0, step.syscall, src_key, src_label, dst_key, dst_label)
+                )
+
+        noise_events = self._noise(rng, resolve, instance_id)
+        merged = _interleave(rng, behavior_events, noise_events)
+        return [
+            SyscallEvent(i, e.syscall, e.src_key, e.src_label, e.dst_key, e.dst_label)
+            for i, e in enumerate(merged)
+        ]
+
+    def _noise(self, rng, resolve, instance_id: str) -> list[SyscallEvent]:
+        """Common-activity noise interleaved into every instance."""
+        pools = LabelPools(rng)
+        main_key, main_label = resolve(self.main)
+        count = rng.randint(*self.noise_range)
+        events: list[SyscallEvent] = []
+        for i in range(count):
+            choice = rng.random()
+            if choice < 0.30:
+                label = pools.draw("tmp_file")
+                events.append(
+                    SyscallEvent(0, "open", main_key, main_label, f"n{i}#{instance_id}", label)
+                )
+            elif choice < 0.45:
+                target = rng.choice((LOCALE, PASSWD, NSSWITCH, PROC_STAT, LD_CACHE))
+                events.append(
+                    SyscallEvent(0, "open", main_key, main_label, target.label, target.label)
+                )
+            elif choice < 0.60:
+                label = pools.draw("user_file")
+                events.append(
+                    SyscallEvent(0, "read", main_key, main_label, f"n{i}#{instance_id}", label)
+                )
+            elif choice < 0.80:
+                job = pools.draw("proc_misc")
+                tmp = pools.draw("log_file")
+                events.append(
+                    SyscallEvent(0, "write", f"j{i}#{instance_id}", job, f"l{i}#{instance_id}", tmp)
+                )
+            else:
+                events.append(
+                    SyscallEvent(0, "write", RSYSLOG.label, RSYSLOG.label, SYSLOG.label, SYSLOG.label)
+                )
+        return events
+
+
+def _interleave(rng, primary: list[SyscallEvent], noise: list[SyscallEvent]) -> list:
+    """Random interleave preserving each stream's internal order."""
+    merged: list[SyscallEvent] = []
+    i = j = 0
+    while i < len(primary) or j < len(noise):
+        remaining_primary = len(primary) - i
+        remaining_noise = len(noise) - j
+        take_primary = rng.random() < remaining_primary / (remaining_primary + remaining_noise)
+        if take_primary:
+            merged.append(primary[i])
+            i += 1
+        else:
+            merged.append(noise[j])
+            j += 1
+    return merged
+
+
+# ----------------------------------------------------------------------
+# the twelve behaviors
+# ----------------------------------------------------------------------
+def _bzip2_decompress() -> BehaviorTemplate:
+    proc = fresh("bzip2", "proc:bzip2")
+    arc = fresh("arc", "file:/home/backup.bz2")
+    out = fresh("out", "file:/home/backup")
+    steps = _prologue(proc) + [
+        Step(proc, BIN_BZIP2, "mmap"),
+        Step(proc, LIBBZ2, "open"),
+        Step(proc, MAGIC, "open"),
+        Step(proc, arc, "open", core=True),
+        Step(arc, proc, "read", core=True, repeat=(1, 2)),
+        Step(proc, out, "write", core=True, repeat=(1, 2)),
+        Step(proc, arc, "unlink", prob=0.6),
+    ]
+    return BehaviorTemplate(
+        name="bzip2-decompress",
+        category="file-compression",
+        size_class="small",
+        main=proc,
+        steps=tuple(steps),
+        noise_range=(1, 3),
+        abort_prob=0.0,
+    )
+
+
+def _gzip_decompress() -> BehaviorTemplate:
+    proc = fresh("gzip", "proc:gzip")
+    arc = fresh("arc", "file:/home/archive.gz")
+    out = fresh("out", "file:/home/archive")
+    steps = _prologue(proc) + [
+        Step(proc, BIN_GZIP, "mmap"),
+        Step(proc, LIBZ, "open"),
+        Step(proc, MAGIC, "open"),
+        Step(proc, arc, "open", core=True),
+        Step(arc, proc, "read", core=True, repeat=(1, 3)),
+        Step(proc, out, "write", core=True, repeat=(1, 2)),
+        Step(proc, arc, "unlink", prob=0.7),
+    ]
+    return BehaviorTemplate(
+        name="gzip-decompress",
+        category="file-compression",
+        size_class="small",
+        main=proc,
+        steps=tuple(steps),
+        noise_range=(1, 3),
+        abort_prob=0.0,
+    )
+
+
+def _wget_download() -> BehaviorTemplate:
+    proc = fresh("wget", "proc:wget")
+    dns = fresh("dns", "sock:dns:53")
+    http = fresh("http", "sock:remote:80")
+    out = pooled("out", "download")
+    steps = _prologue(proc) + [
+        Step(proc, BIN_WGET, "mmap"),
+        Step(proc, WGETRC, "open"),
+        Step(proc, RESOLV, "open", core=True),
+        Step(proc, dns, "sendto", core=True),
+        Step(dns, proc, "recvfrom", core=True),
+        Step(proc, WGET_HSTS, "open", core=True),
+        Step(proc, http, "connect", core=True),
+        Step(http, proc, "recvmsg", core=True, repeat=(2, 5)),
+        Step(proc, out, "write", core=True, repeat=(1, 3)),
+        Step(proc, SSL_CERTS, "open", prob=0.5),
+        Step(proc, HOSTS, "open", prob=0.6),
+    ]
+    return BehaviorTemplate(
+        name="wget-download",
+        category="file-download",
+        size_class="small",
+        main=proc,
+        steps=tuple(steps),
+        noise_range=(6, 14),
+        abort_prob=0.06,
+    )
+
+
+def _ftp_download() -> BehaviorTemplate:
+    proc = fresh("ftp", "proc:ftp")
+    dns = fresh("dns", "sock:dns:53")
+    ctl = fresh("ctl", "sock:remote:21")
+    data = fresh("data", "sock:remote:20")
+    out = pooled("out", "download")
+    steps = _prologue(proc) + [
+        Step(proc, BIN_FTP, "mmap"),
+        Step(proc, RESOLV, "open", core=True),
+        Step(proc, dns, "sendto", core=True),
+        Step(dns, proc, "recvfrom", core=True),
+        Step(proc, NETRC, "open", core=True),
+        Step(proc, ctl, "connect", core=True),
+        Step(ctl, proc, "recvmsg", core=True, repeat=(2, 4)),
+        Step(proc, data, "connect", core=True),
+        Step(data, proc, "recvmsg", core=True, repeat=(4, 10)),
+        Step(proc, out, "write", core=True, repeat=(2, 6)),
+        Step(proc, ctl, "sendmsg", prob=0.8, repeat=(1, 4)),
+    ]
+    return BehaviorTemplate(
+        name="ftp-download",
+        category="file-download",
+        size_class="small",
+        main=proc,
+        steps=tuple(steps),
+        noise_range=(8, 16),
+        abort_prob=0.04,
+    )
+
+
+def _scp_download() -> BehaviorTemplate:
+    # scp runs the ssh client underneath and has NO scp-specific process
+    # label: node for node its structure equals ssh-login's (same labels,
+    # same adjacent edges), so keyword and order-free queries cannot tell
+    # the two behaviors apart.  Only the temporal order differs: scp
+    # forks its transfer helper *before* the handshake and reads
+    # known_hosts before ssh_config, while ssh-login does the opposite.
+    driver = fresh("driver", "proc:ssh")
+    helper = fresh("helper", "proc:ssh")
+    sock = fresh("sock", "sock:remote:22")
+    out = pooled("out", "download")
+    steps = _prologue(driver) + [
+        Step(driver, BIN_SSH, "mmap"),
+        Step(driver, LIBCRYPTO, "open"),
+        Step(driver, helper, "fork", core=True),
+        *_ssh_handshake(driver, sock, order="scp"),
+        Step(sock, driver, "recvmsg", core=True, repeat=(3, 8)),
+        Step(driver, out, "write", core=True, repeat=(2, 6)),
+        Step(driver, HOSTS, "open", prob=0.5),
+    ]
+    return BehaviorTemplate(
+        name="scp-download",
+        category="file-download",
+        size_class="medium",
+        main=driver,
+        steps=tuple(steps),
+        noise_range=(14, 26),
+        abort_prob=0.08,
+    )
+
+
+def _gcc_compile(plus: bool = False) -> BehaviorTemplate:
+    driver_label = "proc:g++" if plus else "proc:gcc"
+    cc_label = "proc:cc1plus" if plus else "proc:cc1"
+    driver = fresh("driver", driver_label)
+    cc = fresh("cc", cc_label)
+    asm = fresh("as", "proc:as")
+    collect = fresh("collect2", "proc:collect2")
+    linker = fresh("ld", "proc:ld")
+    src = pooled("src", "src_file")
+    tmps = fresh("tmps", "file:/tmp/cc.s")
+    tmpo = fresh("tmpo", "file:/tmp/cc.o")
+    aout = fresh("aout", "file:/home/a.out")
+    include = CPP_INCLUDE if plus else USR_INCLUDE
+    steps = _prologue(driver) + [
+        Step(driver, BIN_GPP if plus else BIN_GCC, "mmap"),
+        Step(driver, src, "open", core=True),
+        Step(driver, cc, "fork", core=True),
+        Step(cc, src, "read", core=True),
+        Step(cc, include, "open", core=True, repeat=(3, 8)),
+        Step(cc, tmps, "write", core=True, repeat=(1, 3)),
+        Step(driver, asm, "fork", core=True),
+        Step(asm, tmps, "read", core=True),
+        Step(asm, tmpo, "write", core=True),
+        Step(driver, collect, "fork", core=True),
+        Step(collect, linker, "fork", core=True),
+        Step(linker, tmpo, "read", core=True),
+        Step(linker, CRT1, "open", core=True),
+        Step(linker, LIBC_A, "open", core=True),
+        *([Step(linker, LIBSTDCPP, "open", core=True)] if plus else []),
+        Step(linker, aout, "write", core=True),
+        Step(driver, LD_CACHE, "open", prob=0.7),
+    ]
+    return BehaviorTemplate(
+        name="g++-compile" if plus else "gcc-compile",
+        category="code-compilation",
+        size_class="medium",
+        main=driver,
+        steps=tuple(steps),
+        noise_range=(18, 34),
+        abort_prob=0.12 if plus else 0.11,
+    )
+
+
+def _ftpd_login() -> BehaviorTemplate:
+    # Server side of an ftp login.  Shares the PAM labels with sshd-login
+    # (shadow / auth.log / wtmp) but reads them in a different order and
+    # direction, so only order-aware queries separate the two.
+    daemon = fresh("ftpd", "proc:ftpd")
+    sock = fresh("sock", "sock:local:21")
+    shell = fresh("shell", "proc:bash")
+    steps = _prologue(daemon) + [
+        Step(daemon, BIN_FTPD, "mmap"),
+        Step(daemon, FTPUSERS, "open", core=True),
+        Step(sock, daemon, "accept", core=True),
+        Step(daemon, PAM_FTPD, "open", core=True),
+        Step(daemon, SHADOW, "open", core=True),
+        Step(daemon, WTMP, "write", core=True),
+        Step(daemon, AUTH_LOG, "write", core=True),
+        Step(daemon, sock, "sendmsg", core=True, repeat=(1, 3)),
+        Step(daemon, shell, "fork", core=True),
+        Step(shell, PASSWD, "open", prob=0.8),
+        Step(daemon, sock, "sendmsg", prob=0.7, repeat=(2, 8)),
+    ]
+    return BehaviorTemplate(
+        name="ftpd-login",
+        category="remote-login",
+        size_class="medium",
+        main=daemon,
+        steps=tuple(steps),
+        noise_range=(16, 30),
+        abort_prob=0.12,
+    )
+
+
+def _ssh_login() -> BehaviorTemplate:
+    proc = fresh("ssh", "proc:ssh")
+    mux = fresh("mux", "proc:ssh")
+    sock = fresh("sock", "sock:remote:22")
+    steps = _prologue(proc) + [
+        Step(proc, BIN_SSH, "mmap"),
+        Step(proc, LIBCRYPTO, "open"),
+        *_ssh_handshake(proc, sock, order="client"),
+        Step(proc, DEV_PTS, "ioctl", prob=0.9),
+        Step(sock, proc, "recvmsg", core=True, repeat=(2, 6)),
+        # Control-master mux process spawned once the session is up: the
+        # same ssh->ssh fork edge scp performs *before* its handshake, so
+        # non-temporal queries cannot tell the two behaviors apart.
+        Step(proc, mux, "fork", core=True),
+        Step(proc, sock, "sendmsg", prob=0.8, repeat=(2, 6)),
+        Step(proc, LOCALE, "open", prob=0.6),
+        Step(proc, HOSTS, "open", prob=0.5),
+    ]
+    return BehaviorTemplate(
+        name="ssh-login",
+        category="remote-login",
+        size_class="medium",
+        main=proc,
+        steps=tuple(steps),
+        noise_range=(20, 36),
+        abort_prob=0.13,
+    )
+
+
+def _sshd_login() -> BehaviorTemplate:
+    # Server side.  The discriminative footprint involves PAM files, the
+    # login records, and the spawned shell — note there is no node whose
+    # label would be found by the keyword "sshd" alone being rare, since
+    # ftpd-login touches the same record files (Figure 10's observation).
+    daemon = fresh("sshd", "proc:sshd")
+    net = fresh("net", "proc:sshd")
+    sock = fresh("sock", "sock:local:22")
+    shell = fresh("shell", "proc:bash")
+    steps = _prologue(daemon) + [
+        Step(daemon, BIN_SSHD, "mmap"),
+        Step(daemon, LIBCRYPTO, "open"),
+        Step(daemon, SSHD_CFG, "open", core=True),
+        Step(sock, daemon, "accept", core=True),
+        Step(daemon, net, "fork", core=True),
+        Step(net, sock, "recvmsg", core=True, repeat=(1, 3)),
+        Step(net, PAM_SSHD, "open", core=True),
+        Step(SHADOW, net, "read", core=True),
+        Step(net, AUTH_LOG, "write", core=True),
+        Step(net, WTMP, "write", core=True),
+        Step(net, MOTD, "open", core=True),
+        Step(net, DEV_PTS, "ioctl", core=True),
+        Step(net, shell, "fork", core=True),
+        Step(shell, PASSWD, "open", core=True),
+        Step(shell, LOCALE, "open", prob=0.7),
+        Step(net, sock, "sendmsg", prob=0.8, repeat=(3, 10)),
+        Step(sock, net, "recvmsg", prob=0.8, repeat=(3, 10)),
+    ]
+    return BehaviorTemplate(
+        name="sshd-login",
+        category="remote-login",
+        size_class="large",
+        main=daemon,
+        steps=tuple(steps),
+        noise_range=(40, 70),
+        abort_prob=0.001,
+    )
+
+
+def _apt_get_update() -> BehaviorTemplate:
+    apt = fresh("apt", "proc:apt-get")
+    http = fresh("http", "proc:apt-http")
+    sock = fresh("sock", "sock:remote:80")
+    steps = _prologue(apt) + [
+        Step(apt, BIN_APT, "mmap"),
+        Step(apt, APT_LOCK, "open", core=True),
+        Step(apt, SOURCES_LIST, "open", core=True),
+        Step(apt, http, "fork", core=True),
+        Step(http, RESOLV, "open", core=True),
+        Step(http, sock, "connect", core=True),
+        Step(sock, http, "recvmsg", core=True, repeat=(4, 12)),
+        Step(http, apt, "pipe", core=True, repeat=(2, 6)),
+        Step(apt, APT_LISTS, "write", core=True, repeat=(3, 9)),
+        Step(apt, APT_LOCK, "unlink", core=True),
+        Step(apt, PROC_STAT, "open", prob=0.5),
+    ]
+    return BehaviorTemplate(
+        name="apt-get-update",
+        category="software-management",
+        size_class="large",
+        main=apt,
+        steps=tuple(steps),
+        noise_range=(45, 80),
+        abort_prob=0.16,
+    )
+
+
+def _apt_get_install() -> BehaviorTemplate:
+    apt = fresh("apt", "proc:apt-get")
+    http = fresh("http", "proc:apt-http")
+    sock = fresh("sock", "sock:remote:80")
+    dpkg = fresh("dpkg", "proc:dpkg")
+    ldconfig = fresh("ldconfig", "proc:ldconfig")
+    deb = pooled("deb", "deb_package")
+    steps = _prologue(apt) + [
+        Step(apt, BIN_APT, "mmap"),
+        Step(apt, APT_LOCK, "open", core=True),
+        Step(apt, SOURCES_LIST, "open", core=True),
+        Step(apt, DPKG_STATUS, "open", core=True),
+        Step(apt, http, "fork", core=True),
+        Step(http, sock, "connect", core=True),
+        Step(sock, http, "recvmsg", core=True, repeat=(6, 14)),
+        Step(http, deb, "write", core=True, repeat=(2, 5)),
+        Step(apt, dpkg, "fork", core=True),
+        Step(dpkg, deb, "read", core=True, repeat=(2, 5)),
+        Step(dpkg, DPKG_STATUS, "write", core=True, repeat=(2, 4)),
+        Step(dpkg, ldconfig, "fork", core=True),
+        Step(ldconfig, LD_CACHE, "write", core=True),
+        Step(apt, APT_LOCK, "unlink", core=True),
+        Step(dpkg, SYSLOG, "write", prob=0.6, repeat=(1, 3)),
+    ]
+    return BehaviorTemplate(
+        name="apt-get-install",
+        category="software-management",
+        size_class="large",
+        main=apt,
+        steps=tuple(steps),
+        noise_range=(60, 100),
+        abort_prob=0.15,
+    )
+
+
+def _build_registry() -> dict[str, BehaviorTemplate]:
+    templates = [
+        _bzip2_decompress(),
+        _gzip_decompress(),
+        _wget_download(),
+        _ftp_download(),
+        _scp_download(),
+        _gcc_compile(plus=False),
+        _gcc_compile(plus=True),
+        _ftpd_login(),
+        _ssh_login(),
+        _sshd_login(),
+        _apt_get_update(),
+        _apt_get_install(),
+    ]
+    return {t.name: t for t in templates}
+
+
+#: Registry of the 12 behavior templates, keyed by behavior name.
+BEHAVIORS: dict[str, BehaviorTemplate] = _build_registry()
+
+#: Behavior names in the paper's Table 1 order.
+BEHAVIOR_NAMES: tuple[str, ...] = (
+    "bzip2-decompress",
+    "gzip-decompress",
+    "wget-download",
+    "ftp-download",
+    "scp-download",
+    "gcc-compile",
+    "g++-compile",
+    "ftpd-login",
+    "ssh-login",
+    "sshd-login",
+    "apt-get-update",
+    "apt-get-install",
+)
+
+#: Size classes used by the Figure 13 grouping.
+SIZE_CLASSES: dict[str, tuple[str, ...]] = {
+    "small": ("bzip2-decompress", "gzip-decompress", "wget-download", "ftp-download"),
+    "medium": ("scp-download", "gcc-compile", "g++-compile", "ftpd-login", "ssh-login"),
+    "large": ("sshd-login", "apt-get-update", "apt-get-install"),
+}
+
+#: The five behavior categories of Appendix L.
+CATEGORIES: tuple[str, ...] = (
+    "file-compression",
+    "code-compilation",
+    "file-download",
+    "remote-login",
+    "software-management",
+)
+
+
+def get_behavior(name: str) -> BehaviorTemplate:
+    """Look up a behavior template by name."""
+    try:
+        return BEHAVIORS[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown behavior {name!r}; known: {', '.join(BEHAVIOR_NAMES)}"
+        ) from None

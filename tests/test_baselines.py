@@ -1,0 +1,167 @@
+"""Tests for the Ntemp (non-temporal miner) and NodeSet baselines."""
+
+import random
+
+import pytest
+
+from repro.baselines.gspan import (
+    NonTemporalMiner,
+    NonTemporalMinerConfig,
+    NonTemporalPattern,
+    collapse_multi_edges,
+    enumerate_nontemporal_matches,
+)
+from repro.baselines.nodeset import label_frequencies, mine_nodeset_query
+from repro.baselines.ntemp import mine_ntemp_queries
+from repro.core.errors import MiningError
+from repro.core.ranking import InterestModel
+
+from conftest import build_graph
+from test_miner import planted_dataset
+
+
+class TestCollapse:
+    def test_multi_edges_collapse(self):
+        g = build_graph([(0, 1, 0), (0, 1, 1), (1, 2, 2)], labels=["A", "B", "C"])
+        simple = collapse_multi_edges(g)
+        assert simple.edges == ((0, 1), (1, 2))
+        assert simple.num_nodes == 3
+
+    def test_self_loops_dropped(self):
+        g = build_graph([(0, 0, 0), (0, 1, 1)], labels=["A", "B"])
+        simple = collapse_multi_edges(g)
+        assert simple.edges == ((0, 1),)
+
+
+class TestNonTemporalMiner:
+    def test_finds_planted_structure(self):
+        pos, neg = planted_dataset()
+        result = NonTemporalMiner(
+            NonTemporalMinerConfig(max_edges=2, min_pos_support=0.9)
+        ).mine(pos, neg)
+        # The planted P->F->S chain must be among the co-optimal patterns;
+        # node numbering depends on discovery order, so compare the
+        # label-pair multiset (isomorphism-invariant for this shape).
+        structures = {
+            tuple(
+                sorted(
+                    (m.pattern.label(u), m.pattern.label(v)) for u, v in m.pattern.edges
+                )
+            )
+            for m in result.best
+        }
+        assert (("F", "S"), ("P", "F")) in structures
+
+    def test_order_insensitive(self):
+        # Positives contain A->B then C->B in *either* order: the
+        # non-temporal miner sees one pattern where TGMiner sees two.
+        g1 = build_graph([(0, 1, 0), (2, 1, 1)], labels=["A", "B", "C"])
+        g2 = build_graph([(2, 1, 0), (0, 1, 1)], labels=["A", "B", "C"])
+        result = NonTemporalMiner(
+            NonTemporalMinerConfig(max_edges=2, min_pos_support=1.0)
+        ).mine([g1, g2], [])
+        best_sizes = {m.pattern.num_edges for m in result.best}
+        assert 2 in best_sizes  # the full 2-edge structure has support 1.0
+
+    def test_footprint_dedup_no_double_count(self):
+        g = build_graph([(0, 1, 0), (1, 2, 1)], labels=["A", "B", "C"])
+        result = NonTemporalMiner(
+            NonTemporalMinerConfig(max_edges=2, min_pos_support=1.0)
+        ).mine([g], [])
+        # patterns: A->B, B->C, A->B->C == 3 (the 2-edge pattern reachable
+        # from both seeds is explored once)
+        assert result.patterns_explored == 3
+
+    def test_empty_positive_rejected(self):
+        with pytest.raises(MiningError):
+            NonTemporalMiner().mine([], [])
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(MiningError):
+            NonTemporalMiner(NonTemporalMinerConfig(max_edges=0))
+
+    def test_describe(self):
+        p = NonTemporalPattern(("A", "B"), ((0, 1),))
+        assert "A" in p.describe()
+
+
+class TestEnumerateNonTemporalMatches:
+    def test_basic_injective_matching(self):
+        pattern = NonTemporalPattern(("A", "B", "B"), ((0, 1), (0, 2)))
+        labels = ["A", "B", "B"]
+        adjacency = {(0, 1), (0, 2)}
+        by_label = {"A": [0], "B": [1, 2]}
+        matches = list(
+            enumerate_nontemporal_matches(pattern, labels, adjacency, by_label)
+        )
+        assert sorted(matches) == [(0, 1, 2), (0, 2, 1)]
+
+    def test_limit(self):
+        pattern = NonTemporalPattern(("A", "B"), ((0, 1),))
+        labels = ["A", "B", "B"]
+        adjacency = {(0, 1), (0, 2)}
+        by_label = {"A": [0], "B": [1, 2]}
+        matches = list(
+            enumerate_nontemporal_matches(pattern, labels, adjacency, by_label, limit=1)
+        )
+        assert len(matches) == 1
+
+
+class TestNodeSet:
+    def test_label_frequencies(self):
+        graphs = [
+            build_graph([(0, 1, 0)], labels=["X", "Y"]),
+            build_graph([(0, 1, 0)], labels=["X", "Z"]),
+        ]
+        freqs = label_frequencies(graphs)
+        assert freqs["X"] == 1.0
+        assert freqs["Y"] == 0.5
+
+    def test_top_k_discriminative_labels(self):
+        pos = [build_graph([(0, 1, 0), (1, 2, 1)], labels=["S", "T", "C"])] * 4
+        neg = [build_graph([(0, 1, 0)], labels=["C", "C"])] * 4
+        query = mine_nodeset_query(pos, neg, k=2)
+        assert set(query.labels) == {"S", "T"}
+        assert query.size == 2
+
+    def test_max_span_is_longest_lifetime(self):
+        pos = [
+            build_graph([(0, 1, 0), (1, 2, 9)], labels=["S", "T", "U"]),
+            build_graph([(0, 1, 0), (1, 2, 3)], labels=["S", "T", "U"]),
+        ]
+        query = mine_nodeset_query(pos, [], k=2)
+        assert query.max_span == 9
+
+    def test_k_capped_by_vocabulary(self):
+        pos = [build_graph([(0, 1, 0)], labels=["S", "T"])]
+        query = mine_nodeset_query(pos, [], k=10)
+        assert query.size == 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(MiningError):
+            mine_nodeset_query([], [], k=3)
+        with pytest.raises(MiningError):
+            mine_nodeset_query([build_graph([(0, 1, 0)])], [], k=0)
+
+    def test_describe(self):
+        pos = [build_graph([(0, 1, 0)], labels=["S", "T"])]
+        query = mine_nodeset_query(pos, [], k=2)
+        assert "span" in query.describe()
+
+
+class TestNtempPipeline:
+    def test_queries_ranked_and_capped(self):
+        pos, neg = planted_dataset()
+        model = InterestModel.fit(pos + neg)
+        queries = mine_ntemp_queries(
+            pos, neg, interest=model, max_edges=2, top_k=3, min_pos_support=0.9
+        )
+        assert 1 <= len(queries) <= 3
+        assert all(q.max_span > 0 for q in queries)
+
+    def test_deterministic(self):
+        pos, neg = planted_dataset()
+        model = InterestModel.fit(pos + neg)
+        a = mine_ntemp_queries(pos, neg, interest=model, max_edges=2, top_k=3)
+        b = mine_ntemp_queries(pos, neg, interest=model, max_edges=2, top_k=3)
+        assert [q.pattern.edges for q in a] == [q.pattern.edges for q in b]

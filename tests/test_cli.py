@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_mine_rejects_unknown_behavior(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mine", "--train", "x", "--behavior", "nmap"])
+
+
+class TestCommands:
+    def test_behaviors_lists_all(self, capsys):
+        assert main(["behaviors"]) == 0
+        out = capsys.readouterr().out
+        assert "sshd-login" in out and "small:" in out
+
+    def test_generate_then_mine_roundtrip(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        assert (
+            main(
+                [
+                    "generate",
+                    "--out",
+                    str(corpus),
+                    "--instances",
+                    "4",
+                    "--background",
+                    "6",
+                ]
+            )
+            == 0
+        )
+        assert (corpus / "gzip-decompress.jsonl").exists()
+        assert (corpus / "background.jsonl").exists()
+        assert (
+            main(
+                [
+                    "mine",
+                    "--train",
+                    str(corpus),
+                    "--behavior",
+                    "gzip-decompress",
+                    "--max-edges",
+                    "3",
+                    "--max-seconds",
+                    "20",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "best score" in out
+        assert "t=1:" in out
+
+    def test_mine_missing_corpus_errors(self, tmp_path, capsys):
+        code = main(
+            ["mine", "--train", str(tmp_path), "--behavior", "gzip-decompress"]
+        )
+        assert code == 2
+        assert "missing" in capsys.readouterr().err

@@ -1,0 +1,98 @@
+"""Tests for concurrent-edge handling (paper Section 5)."""
+
+import pytest
+
+from repro.core.concurrent import (
+    concurrency_ratio,
+    concurrent_blocks,
+    has_concurrent_edges,
+    sequentialize,
+)
+from repro.core.errors import GraphError
+from repro.core.graph import TemporalEdge
+
+
+EDGES = [
+    TemporalEdge(0, 1, 0),
+    TemporalEdge(1, 2, 1),
+    TemporalEdge(0, 2, 1),  # concurrent with previous
+    TemporalEdge(2, 0, 3),
+]
+LABELS = ["A", "B", "C"]
+
+
+class TestDetection:
+    def test_has_concurrent_edges(self):
+        assert has_concurrent_edges(EDGES)
+        assert not has_concurrent_edges(EDGES[:2])
+
+    def test_concurrency_ratio(self):
+        assert concurrency_ratio(EDGES) == pytest.approx(0.5)
+        assert concurrency_ratio(EDGES[:2]) == 0.0
+        assert concurrency_ratio([]) == 0.0
+
+
+class TestSequentialize:
+    @pytest.mark.parametrize("policy", ["stable", "random", "by-endpoint"])
+    def test_produces_total_order(self, policy):
+        g = sequentialize(EDGES, LABELS, policy=policy, seed=5)
+        times = [e.time for e in g.edges]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+        assert g.num_edges == len(EDGES)
+
+    def test_stable_preserves_collection_order(self):
+        g = sequentialize(EDGES, LABELS, policy="stable")
+        # block at t=1 keeps (1,2) before (0,2)
+        pairs = [(e.src, e.dst) for e in g.edges]
+        assert pairs == [(0, 1), (1, 2), (0, 2), (2, 0)]
+
+    def test_by_endpoint_orders_within_block(self):
+        g = sequentialize(EDGES, LABELS, policy="by-endpoint")
+        pairs = [(e.src, e.dst) for e in g.edges]
+        # within t=1 block: (A,C) before (B,C)
+        assert pairs == [(0, 1), (0, 2), (1, 2), (2, 0)]
+
+    def test_random_is_seed_deterministic(self):
+        a = sequentialize(EDGES, LABELS, policy="random", seed=3)
+        b = sequentialize(EDGES, LABELS, policy="random", seed=3)
+        assert [(e.src, e.dst) for e in a.edges] == [(e.src, e.dst) for e in b.edges]
+
+    def test_cross_block_order_always_preserved(self):
+        g = sequentialize(EDGES, LABELS, policy="random", seed=1)
+        positions = {(e.src, e.dst): i for i, e in enumerate(g.edges)}
+        assert positions[(0, 1)] < positions[(1, 2)]
+        assert positions[(0, 2)] < positions[(2, 0)]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(GraphError):
+            sequentialize(EDGES, LABELS, policy="chaos")
+
+
+class TestBlocks:
+    def test_blocks_group_by_timestamp(self):
+        seq = concurrent_blocks(EDGES, LABELS)
+        assert seq.num_blocks == 3
+        assert [b.time for b in seq.blocks] == [0, 1, 3]
+        assert len(seq.blocks[1].edges) == 2
+
+    def test_block_fingerprint(self):
+        seq = concurrent_blocks(EDGES, LABELS)
+        assert seq.blocks[1].label_pair_multiset(LABELS) == (("A", "C"), ("B", "C"))
+
+    def test_may_contain_positive(self):
+        big = concurrent_blocks(EDGES, LABELS)
+        small = concurrent_blocks([TemporalEdge(0, 1, 0), TemporalEdge(1, 2, 1)], LABELS)
+        assert big.may_contain(small)
+
+    def test_may_contain_respects_block_order(self):
+        big = concurrent_blocks(EDGES, LABELS)
+        # needs C->A before A->B: impossible
+        small = concurrent_blocks([TemporalEdge(2, 0, 0), TemporalEdge(0, 1, 1)], LABELS)
+        assert not big.may_contain(small)
+
+    def test_may_contain_requires_block_cover(self):
+        big = concurrent_blocks(EDGES, LABELS)
+        # one block needing both A->B and B->C simultaneously: no block covers it
+        small = concurrent_blocks([TemporalEdge(0, 1, 5), TemporalEdge(1, 2, 5)], LABELS)
+        assert not big.may_contain(small)

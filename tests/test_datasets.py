@@ -1,0 +1,87 @@
+"""Tests for dataset io and synthetic replication."""
+
+import pytest
+
+from repro.core.errors import DatasetError
+from repro.datasets.io import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graphs_jsonl,
+    save_graphs_jsonl,
+)
+from repro.datasets.synthetic import replicate_graphs, replicate_training_data
+from repro.syscall import build_training_data
+
+from conftest import build_graph
+
+
+class TestIO:
+    def test_roundtrip_single_graph(self):
+        g = build_graph([(0, 1, 3), (1, 2, 7)], labels=["A", "B", "C"], name="g1")
+        back = graph_from_dict(graph_to_dict(g))
+        assert back.name == "g1"
+        assert list(back.labels) == ["A", "B", "C"]
+        assert [(e.src, e.dst, e.time) for e in back.edges] == [(0, 1, 3), (1, 2, 7)]
+
+    def test_roundtrip_file(self, tmp_path):
+        graphs = [
+            build_graph([(0, 1, 0)], labels=["A", "B"], name="x"),
+            build_graph([(0, 1, 0), (1, 0, 1)], labels=["C", "D"], name="y"),
+        ]
+        path = tmp_path / "graphs.jsonl"
+        assert save_graphs_jsonl(graphs, path) == 2
+        loaded = load_graphs_jsonl(path)
+        assert len(loaded) == 2
+        assert loaded[1].num_edges == 2
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "graphs.jsonl"
+        g = build_graph([(0, 1, 0)], labels=["A", "B"])
+        path.write_text('{"labels": ["A", "B"], "edges": [[0, 1, 0]]}\n\n')
+        assert len(load_graphs_jsonl(path)) == 1
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(DatasetError):
+            load_graphs_jsonl(path)
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(DatasetError):
+            graph_from_dict({"labels": ["A"]})
+
+    def test_malformed_edge_raises(self):
+        with pytest.raises(DatasetError):
+            graph_from_dict({"labels": ["A", "B"], "edges": [[0, "x", 0]]})
+
+
+class TestReplication:
+    def test_replicate_graphs(self):
+        g = build_graph([(0, 1, 0)], labels=["A", "B"])
+        out = replicate_graphs([g], 4)
+        assert len(out) == 4
+        assert all(x is g for x in out)
+
+    def test_replicate_factor_validation(self):
+        with pytest.raises(DatasetError):
+            replicate_graphs([], 0)
+
+    def test_replicate_training_data(self):
+        data = build_training_data(instances_per_behavior=2, background_graphs=3)
+        syn4 = replicate_training_data(data, 4)
+        assert len(syn4.behavior("gzip-decompress")) == 8
+        assert len(syn4.background) == 12
+
+    def test_replication_preserves_frequencies(self):
+        """Pattern frequency is invariant under replication (Appendix N)."""
+        from repro.core.miner import MinerConfig, TGMiner
+
+        data = build_training_data(instances_per_behavior=3, background_graphs=4)
+        syn2 = replicate_training_data(data, 2)
+        config = MinerConfig(max_edges=2, min_pos_support=0.7, max_seconds=20)
+        base = TGMiner(config).mine(data.behavior("gzip-decompress"), data.background)
+        repl = TGMiner(config).mine(syn2.behavior("gzip-decompress"), syn2.background)
+        assert base.best_score == pytest.approx(repl.best_score)
+        assert {m.pattern.key() for m in base.best} == {
+            m.pattern.key() for m in repl.best
+        }

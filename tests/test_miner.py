@@ -1,0 +1,217 @@
+"""Tests for TGMiner: planted patterns, pruning variants, stats, config."""
+
+import random
+
+import pytest
+
+from repro.core.errors import MiningError
+from repro.core.graph import TemporalGraph
+from repro.core.miner import (
+    MinerConfig,
+    TGMiner,
+    VARIANT_NAMES,
+    miner_variant,
+)
+
+from conftest import build_graph, random_temporal_graph
+
+
+def planted_dataset(seed=0, n_pos=8, n_neg=8, noise=6):
+    """Positive graphs embed P->F->S in order; negatives never do."""
+    rng = random.Random(seed)
+    labels = ["P", "F", "S", "Q", "R"]
+
+    def make(planted):
+        g = TemporalGraph()
+        ids = [g.add_node(l) for l in labels]
+        t = 0
+        if planted:
+            g.add_edge(ids[0], ids[1], t)
+            t += 1
+            g.add_edge(ids[1], ids[2], t)
+            t += 1
+        for _ in range(noise):
+            u, v = rng.sample(range(3, 5), 2)
+            g.add_edge(ids[u], ids[v], t)
+            t += 1
+        return g.freeze()
+
+    return [make(True) for _ in range(n_pos)], [make(False) for _ in range(n_neg)]
+
+
+class TestPlantedPattern:
+    def test_finds_planted_core(self):
+        pos, neg = planted_dataset()
+        result = TGMiner(MinerConfig(max_edges=2, min_pos_support=0.9)).mine(pos, neg)
+        best_keys = {m.pattern.key() for m in result.best}
+        planted = (("P", "F", "S"), ((0, 1), (1, 2)))
+        assert planted in best_keys
+        assert result.best_score > 0
+
+    def test_best_by_size_tracks_each_depth(self):
+        pos, neg = planted_dataset()
+        result = TGMiner(MinerConfig(max_edges=2, min_pos_support=0.9)).mine(pos, neg)
+        assert 1 in result.best_by_size
+        assert 2 in result.best_by_size
+        assert result.best_by_size[2].score >= result.best_by_size[1].score
+
+    def test_frequencies_reported(self):
+        pos, neg = planted_dataset()
+        result = TGMiner(MinerConfig(max_edges=2, min_pos_support=0.9)).mine(pos, neg)
+        top = [m for m in result.best if m.pattern.num_edges == 2][0]
+        assert top.pos_freq == 1.0
+        assert top.neg_freq == 0.0
+
+    def test_min_support_filters_rare_patterns(self):
+        pos, neg = planted_dataset()
+        # Demand support above 100%: nothing can be mined.
+        result = TGMiner(MinerConfig(min_pos_support=1.0, max_edges=2)).mine(
+            pos[:4] + neg[:4], neg
+        )
+        # planted edge occurs in only half the "positives" here
+        keys = {m.pattern.key() for m in result.best}
+        assert (("P", "F"), ((0, 1),)) not in keys
+
+
+class TestVariants:
+    def test_variant_names_resolve(self):
+        for name in VARIANT_NAMES:
+            config = miner_variant(name)
+            config.validate()
+
+    def test_variant_flags(self):
+        assert miner_variant("SubPrune").supergraph_pruning is False
+        assert miner_variant("SupPrune").subgraph_pruning is False
+        assert miner_variant("PruneGI").subgraph_test == "gi"
+        assert miner_variant("PruneVF2").subgraph_test == "vf2"
+        assert miner_variant("LinearScan").residual_equivalence == "linear"
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(MiningError):
+            miner_variant("TurboMiner")
+
+    @pytest.mark.parametrize("name", VARIANT_NAMES)
+    def test_all_variants_agree_on_planted_dataset(self, name):
+        pos, neg = planted_dataset()
+        base = MinerConfig(max_edges=3, min_pos_support=0.9)
+        reference = TGMiner(base).mine(pos, neg)
+        result = TGMiner(miner_variant(name, base)).mine(pos, neg)
+        assert result.best_score == pytest.approx(reference.best_score)
+        assert {m.pattern.key() for m in result.best} == {
+            m.pattern.key() for m in reference.best
+        }
+
+    @pytest.mark.parametrize("name", VARIANT_NAMES)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_all_variants_agree_on_random_data(self, name, seed):
+        rng = random.Random(seed)
+        pos = [random_temporal_graph(rng, 4, 7, "ABC") for _ in range(4)]
+        neg = [random_temporal_graph(rng, 4, 7, "ABC") for _ in range(4)]
+        base = MinerConfig(max_edges=3, min_pos_support=0.5, max_best_patterns=10_000)
+        reference = TGMiner(
+            MinerConfig(
+                max_edges=3,
+                min_pos_support=0.5,
+                max_best_patterns=10_000,
+                subgraph_pruning=False,
+                supergraph_pruning=False,
+                upper_bound_pruning=False,
+            )
+        ).mine(pos, neg)
+        result = TGMiner(miner_variant(name, base)).mine(pos, neg)
+        assert result.best_score == pytest.approx(reference.best_score)
+        assert {m.pattern.key() for m in result.best} == {
+            m.pattern.key() for m in reference.best
+        }
+
+    def test_pruning_reduces_exploration(self):
+        pos, neg = planted_dataset(noise=8)
+        full = TGMiner(
+            MinerConfig(
+                max_edges=4,
+                min_pos_support=0.4,
+                subgraph_pruning=False,
+                supergraph_pruning=False,
+                upper_bound_pruning=False,
+            )
+        ).mine(pos, neg)
+        pruned = TGMiner(MinerConfig(max_edges=4, min_pos_support=0.4)).mine(pos, neg)
+        assert pruned.stats.patterns_explored <= full.stats.patterns_explored
+
+
+class TestStats:
+    def test_counters_populated(self):
+        pos, neg = planted_dataset(noise=8)
+        result = TGMiner(MinerConfig(max_edges=4, min_pos_support=0.4)).mine(pos, neg)
+        stats = result.stats
+        assert stats.patterns_explored > 0
+        assert stats.elapsed_seconds > 0
+        assert 0.0 <= stats.subgraph_trigger_rate() <= 1.0
+        assert 0.0 <= stats.supergraph_trigger_rate() <= 1.0
+
+    def test_trigger_rates_zero_on_empty(self):
+        from repro.core.miner import MiningStats
+
+        stats = MiningStats()
+        assert stats.subgraph_trigger_rate() == 0.0
+        assert stats.supergraph_trigger_rate() == 0.0
+
+
+class TestConfig:
+    def test_invalid_max_edges(self):
+        with pytest.raises(MiningError):
+            MinerConfig(max_edges=0).validate()
+
+    def test_invalid_support(self):
+        with pytest.raises(MiningError):
+            MinerConfig(min_pos_support=1.5).validate()
+
+    def test_invalid_subgraph_test(self):
+        with pytest.raises(MiningError):
+            MinerConfig(subgraph_test="magic").validate()
+
+    def test_invalid_residual_mode(self):
+        with pytest.raises(MiningError):
+            MinerConfig(residual_equivalence="hash").validate()
+
+    def test_empty_positive_set_rejected(self):
+        with pytest.raises(MiningError):
+            TGMiner().mine([], [])
+
+    def test_miner_validates_on_construction(self):
+        with pytest.raises(MiningError):
+            TGMiner(MinerConfig(max_edges=-1))
+
+
+class TestLimits:
+    def test_max_edges_respected(self):
+        pos, neg = planted_dataset()
+        result = TGMiner(MinerConfig(max_edges=2, min_pos_support=0.5)).mine(pos, neg)
+        assert all(m.pattern.num_edges <= 2 for m in result.best)
+        assert max(result.best_by_size) <= 2
+
+    def test_timeout_flags_result(self):
+        pos, neg = planted_dataset(noise=10)
+        result = TGMiner(
+            MinerConfig(max_edges=8, min_pos_support=0.1, max_seconds=0.0)
+        ).mine(pos, neg)
+        assert result.stats.timed_out
+
+    def test_tie_cap_respected(self):
+        pos, neg = planted_dataset()
+        result = TGMiner(
+            MinerConfig(max_edges=3, min_pos_support=0.5, max_best_patterns=2)
+        ).mine(pos, neg)
+        assert len(result.best) <= 2
+
+    def test_unfrozen_graphs_accepted(self):
+        g = TemporalGraph()
+        a, b = g.add_node("A"), g.add_node("B")
+        g.add_edge(a, b, 0)
+        result = TGMiner(MinerConfig(max_edges=1)).mine([g], [])
+        assert result.best_score > 0
+
+    def test_top_helper(self):
+        pos, neg = planted_dataset()
+        result = TGMiner(MinerConfig(max_edges=2, min_pos_support=0.9)).mine(pos, neg)
+        assert len(result.top(1)) == 1

@@ -1,0 +1,177 @@
+"""Unit tests for :mod:`repro.core.pattern`."""
+
+import pytest
+
+from repro.core.errors import PatternError
+from repro.core.pattern import TemporalPattern
+
+from conftest import build_graph
+
+
+class TestConstruction:
+    def test_single_edge(self):
+        p = TemporalPattern.single_edge("A", "B")
+        assert p.num_nodes == 2
+        assert p.num_edges == 1
+        assert p.edges == ((0, 1),)
+        assert p.labels == ("A", "B")
+
+    def test_single_edge_same_labels_two_nodes(self):
+        p = TemporalPattern.single_edge("A", "A")
+        assert p.num_nodes == 2
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PatternError):
+            TemporalPattern((), ())
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(PatternError):
+            TemporalPattern(("A",), ((0, 0),))
+
+    def test_non_first_visit_order_rejected(self):
+        # second node appears before first is ever visited
+        with pytest.raises(PatternError):
+            TemporalPattern(("A", "B", "C"), ((1, 2), (0, 1)))
+
+    def test_disconnected_edge_rejected(self):
+        with pytest.raises(PatternError):
+            TemporalPattern(("A", "B", "C", "D"), ((0, 1), (2, 3)))
+
+    def test_isolated_node_rejected(self):
+        with pytest.raises(PatternError):
+            TemporalPattern(("A", "B", "C"), ((0, 1),))
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(PatternError):
+            TemporalPattern(("A", "B"), ((0, 7),))
+
+
+class TestGrowth:
+    def test_forward_growth(self):
+        p = TemporalPattern.single_edge("A", "B").grow_forward(1, "C")
+        assert p.edges == ((0, 1), (1, 2))
+        assert p.labels == ("A", "B", "C")
+
+    def test_backward_growth(self):
+        p = TemporalPattern.single_edge("A", "B").grow_backward("C", 0)
+        assert p.edges == ((0, 1), (2, 0))
+        assert p.labels == ("A", "B", "C")
+
+    def test_inward_growth_allows_multi_edges(self):
+        p = TemporalPattern.single_edge("A", "B").grow_inward(0, 1)
+        assert p.edges == ((0, 1), (0, 1))
+        assert p.num_nodes == 2
+
+    def test_inward_growth_reverse_direction(self):
+        p = TemporalPattern.single_edge("A", "B").grow_inward(1, 0)
+        assert p.edges == ((0, 1), (1, 0))
+
+    def test_inward_self_loop_rejected(self):
+        p = TemporalPattern.single_edge("A", "B")
+        with pytest.raises(PatternError):
+            p.grow_inward(1, 1)
+
+    def test_growth_from_unknown_node_rejected(self):
+        p = TemporalPattern.single_edge("A", "B")
+        with pytest.raises(PatternError):
+            p.grow_forward(5, "C")
+        with pytest.raises(PatternError):
+            p.grow_backward("C", 5)
+
+    def test_growth_produces_new_objects(self):
+        p = TemporalPattern.single_edge("A", "B")
+        q = p.grow_forward(0, "C")
+        assert p.num_edges == 1
+        assert q is not p
+
+    def test_figure4_consecutive_growth(self):
+        # Figure 4: g1 (A->B) grows into g4 step by step.
+        g1 = TemporalPattern.single_edge("A", "B")
+        g2 = g1.grow_forward(0, "C")
+        g3 = g2.grow_inward(0, 1)
+        g4 = g3.grow_inward(2, 1)
+        assert g4.num_edges == 4
+        assert g4.edges == ((0, 1), (0, 2), (0, 1), (2, 1))
+
+
+class TestPrefix:
+    def test_prefix_is_growth_ancestor(self):
+        p = (
+            TemporalPattern.single_edge("A", "B")
+            .grow_forward(1, "C")
+            .grow_backward("D", 0)
+        )
+        assert p.prefix(1) == TemporalPattern.single_edge("A", "B")
+        assert p.prefix(2) == TemporalPattern.single_edge("A", "B").grow_forward(1, "C")
+        assert p.prefix(3) == p
+
+    def test_prefix_out_of_range(self):
+        p = TemporalPattern.single_edge("A", "B")
+        with pytest.raises(PatternError):
+            p.prefix(0)
+        with pytest.raises(PatternError):
+            p.prefix(2)
+
+
+class TestIdentity:
+    def test_equality_and_hash(self):
+        p = TemporalPattern(("A", "B", "C"), ((0, 1), (1, 2)))
+        q = TemporalPattern(("A", "B", "C"), ((0, 1), (1, 2)))
+        assert p == q
+        assert hash(p) == hash(q)
+        assert p.key() == q.key()
+
+    def test_order_matters(self):
+        p = TemporalPattern(("A", "B", "C"), ((0, 1), (0, 2)))
+        q = TemporalPattern(("A", "C", "B"), ((0, 1), (0, 2)))
+        assert p != q
+
+    def test_not_equal_to_other_types(self):
+        p = TemporalPattern.single_edge("A", "B")
+        assert p != "A->B"
+
+
+class TestFromGraph:
+    def test_from_graph_normalizes(self, figure3_graph):
+        p = TemporalPattern.from_graph(figure3_graph)
+        assert p.num_edges == 6
+        assert p.labels == ("A", "B", "C", "E")
+        # timestamps implicit: edge order matches graph's temporal order
+        assert p.edges[0] == (0, 1)
+
+    def test_from_graph_renumbers_first_visit(self):
+        g = build_graph([(2, 0, 0), (0, 1, 1)], labels=["X", "Y", "Z"])
+        p = TemporalPattern.from_graph(g)
+        # first visited: node2 (Z), then node0 (X), then node1 (Y)
+        assert p.labels == ("Z", "X", "Y")
+        assert p.edges == ((0, 1), (1, 2))
+
+    def test_from_graph_rejects_non_t_connected(self):
+        g = build_graph([(0, 1, 0), (2, 3, 1), (1, 2, 2)])
+        with pytest.raises(PatternError):
+            TemporalPattern.from_graph(g)
+
+
+class TestViews:
+    def test_degrees(self):
+        p = TemporalPattern(("A", "B", "C"), ((0, 1), (0, 2), (0, 1)))
+        assert p.out_degrees == (3, 0, 0)
+        assert p.in_degrees == (0, 2, 1)
+
+    def test_iter_timed_edges(self):
+        p = TemporalPattern.single_edge("A", "B").grow_forward(1, "C")
+        assert list(p.iter_timed_edges()) == [(0, 1, 1), (1, 2, 2)]
+
+    def test_as_temporal_graph_roundtrip(self):
+        p = TemporalPattern(("A", "B", "C"), ((0, 1), (1, 2), (0, 2)))
+        g = p.as_temporal_graph()
+        assert TemporalPattern.from_graph(g) == p
+
+    def test_describe_mentions_edges(self):
+        p = TemporalPattern.single_edge("A", "B")
+        text = p.describe()
+        assert "t=1" in text and "A" in text and "B" in text
+
+    def test_label_set(self):
+        p = TemporalPattern(("A", "B", "A"), ((0, 1), (1, 2)))
+        assert p.label_set() == {"A", "B"}

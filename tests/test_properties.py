@@ -1,0 +1,147 @@
+"""Property-based tests (hypothesis) for the core invariants:
+
+* the three subgraph testers agree with the brute-force oracle;
+* every embedded pattern is found by every tester;
+* all six miner variants return identical results (Theorem 2);
+* sequence encodings are consistent with Lemma 5's premises.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.brute import contains_pattern, enumerate_matches
+from repro.core.graph import TemporalGraph
+from repro.core.graph_index import GraphIndexTester, find_matches
+from repro.core.miner import MinerConfig, TGMiner, miner_variant
+from repro.core.pattern import TemporalPattern
+from repro.core.sequence import encode
+from repro.core.subgraph import SequenceSubgraphTester
+from repro.core.vf2 import VF2SubgraphTester
+
+from conftest import random_embedded_pattern, random_temporal_graph
+
+
+@st.composite
+def temporal_graphs(draw, max_nodes=6, max_edges=9, alphabet="AB"):
+    """A random small, totally ordered temporal graph."""
+    n_nodes = draw(st.integers(min_value=2, max_value=max_nodes))
+    n_edges = draw(st.integers(min_value=1, max_value=max_edges))
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    return random_temporal_graph(random.Random(seed), n_nodes, n_edges, alphabet)
+
+
+@st.composite
+def graph_and_embedded_pattern(draw):
+    graph = draw(temporal_graphs())
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    pattern = random_embedded_pattern(random.Random(seed), graph, max_edges=4)
+    return graph, pattern
+
+
+def t_connected(graph: TemporalGraph) -> bool:
+    nodes: set[int] = set()
+    for i, edge in enumerate(graph.edges):
+        if i > 0 and edge.src not in nodes and edge.dst not in nodes:
+            return False
+        nodes.update(edge.endpoints())
+    return True
+
+
+class TestMatcherProperties:
+    @given(graph_and_embedded_pattern())
+    @settings(max_examples=120, deadline=None)
+    def test_embedded_patterns_always_found(self, case):
+        graph, pattern = case
+        assert contains_pattern(pattern, graph)
+        matches = list(find_matches(pattern, graph))
+        assert matches, "index-join matcher must find embedded pattern"
+
+    @given(graph_and_embedded_pattern(), temporal_graphs())
+    @settings(max_examples=120, deadline=None)
+    def test_testers_agree_with_oracle(self, case, other):
+        _graph, pattern = case
+        if not t_connected(other):
+            return
+        big = TemporalPattern.from_graph(other)
+        expected = contains_pattern(pattern, other)
+        assert SequenceSubgraphTester().contains(pattern, big) == expected
+        assert VF2SubgraphTester().contains(pattern, big) == expected
+        assert GraphIndexTester().contains(pattern, big) == expected
+
+    @given(graph_and_embedded_pattern())
+    @settings(max_examples=100, deadline=None)
+    def test_index_join_equals_brute_matches(self, case):
+        graph, pattern = case
+        brute = {(m.nodes, m.edge_indexes) for m in enumerate_matches(pattern, graph)}
+        joined = {(m.nodes, m.edge_indexes) for m in find_matches(pattern, graph)}
+        assert brute == joined
+
+    @given(graph_and_embedded_pattern())
+    @settings(max_examples=100, deadline=None)
+    def test_match_edge_indexes_strictly_increase(self, case):
+        graph, pattern = case
+        for match in enumerate_matches(pattern, graph):
+            idxs = match.edge_indexes
+            assert all(a < b for a, b in zip(idxs, idxs[1:]))
+            assert len(set(match.nodes)) == len(match.nodes)
+
+
+class TestSequenceProperties:
+    @given(graph_and_embedded_pattern())
+    @settings(max_examples=120, deadline=None)
+    def test_enhseq_covers_nodeseq(self, case):
+        _graph, pattern = case
+        enc = encode(pattern)
+        # every node occurs in the enhanced sequence
+        assert set(enc.enhseq) == set(enc.nodeseq)
+        # destination of every edge appears in enhseq at least once per edge
+        assert len(enc.enhseq) >= pattern.num_nodes
+
+    @given(graph_and_embedded_pattern())
+    @settings(max_examples=120, deadline=None)
+    def test_pattern_contains_its_prefixes(self, case):
+        _graph, pattern = case
+        tester = SequenceSubgraphTester()
+        for k in range(1, pattern.num_edges + 1):
+            assert tester.contains(pattern.prefix(k), pattern)
+
+
+class TestMinerProperties:
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_variants_identical_results(self, seed, max_edges):
+        rng = random.Random(seed)
+        pos = [random_temporal_graph(rng, 4, 6, "AB") for _ in range(3)]
+        neg = [random_temporal_graph(rng, 4, 6, "AB") for _ in range(3)]
+        base = MinerConfig(
+            max_edges=max_edges, min_pos_support=0.5, max_best_patterns=100_000
+        )
+        results = {}
+        for name in ("TGMiner", "SubPrune", "SupPrune", "LinearScan"):
+            res = TGMiner(miner_variant(name, base)).mine(pos, neg)
+            results[name] = (res.best_score, {m.pattern.key() for m in res.best})
+        reference = results["TGMiner"]
+        for name, got in results.items():
+            assert got == reference, f"{name} diverged"
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_best_score_matches_unpruned_search(self, seed):
+        rng = random.Random(seed)
+        pos = [random_temporal_graph(rng, 4, 6, "AB") for _ in range(3)]
+        neg = [random_temporal_graph(rng, 4, 6, "AB") for _ in range(3)]
+        pruned = TGMiner(MinerConfig(max_edges=3, min_pos_support=0.5)).mine(pos, neg)
+        unpruned = TGMiner(
+            MinerConfig(
+                max_edges=3,
+                min_pos_support=0.5,
+                subgraph_pruning=False,
+                supergraph_pruning=False,
+                upper_bound_pruning=False,
+            )
+        ).mine(pos, neg)
+        assert pruned.best_score == unpruned.best_score

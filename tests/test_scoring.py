@@ -1,0 +1,99 @@
+"""Tests for discriminative score functions, including the partial
+(anti-)monotonicity required by Problem 1 (property-based)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.scoring import GTest, InformationGain, LogRatio, resolve_score
+
+FUNCTIONS = [
+    pytest.param(LogRatio(), id="log-ratio"),
+    pytest.param(GTest(n_pos=20), id="g-test"),
+    pytest.param(InformationGain(n_pos=20, n_neg=20), id="info-gain"),
+]
+
+freqs = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestPartialMonotonicity:
+    """F(x, y): larger x (fixed y) and smaller y (fixed x) never hurt."""
+
+    @pytest.mark.parametrize("fn", FUNCTIONS)
+    @given(x=freqs, y1=freqs, y2=freqs)
+    def test_anti_monotone_in_negative_freq(self, fn, x, y1, y2):
+        lo, hi = sorted((y1, y2))
+        # monotonicity holds on the discriminative region x >= y
+        if x >= hi:
+            assert fn.score(x, lo) >= fn.score(x, hi) - 1e-9
+
+    @pytest.mark.parametrize("fn", FUNCTIONS)
+    @given(x1=freqs, x2=freqs, y=freqs)
+    def test_monotone_in_positive_freq(self, fn, x1, x2, y):
+        lo, hi = sorted((x1, x2))
+        if lo >= y:
+            assert fn.score(hi, y) >= fn.score(lo, y) - 1e-9
+
+    @pytest.mark.parametrize("fn", FUNCTIONS)
+    @given(x=freqs, y=freqs)
+    def test_upper_bound_dominates(self, fn, x, y):
+        if x >= y:
+            assert fn.upper_bound(x) >= fn.score(x, y) - 1e-9
+
+
+class TestLogRatio:
+    def test_known_value(self):
+        fn = LogRatio(epsilon=1e-6)
+        assert fn.score(1.0, 0.0) == pytest.approx(math.log(1.0 / 1e-6))
+
+    def test_zero_positive_is_minus_inf(self):
+        assert LogRatio().score(0.0, 0.5) == float("-inf")
+
+    def test_callable_protocol(self):
+        fn = LogRatio()
+        assert fn(0.5, 0.1) == fn.score(0.5, 0.1)
+
+
+class TestGTest:
+    def test_sign_flips_for_negative_skew(self):
+        fn = GTest(n_pos=10)
+        assert fn.score(0.9, 0.1) > 0
+        assert fn.score(0.1, 0.9) < 0
+
+    def test_scales_with_n_pos(self):
+        assert GTest(n_pos=20).score(0.9, 0.1) == pytest.approx(
+            2 * GTest(n_pos=10).score(0.9, 0.1)
+        )
+
+
+class TestInformationGain:
+    def test_perfect_separator_maximizes(self):
+        fn = InformationGain(n_pos=10, n_neg=10)
+        perfect = fn.score(1.0, 0.0)
+        partial = fn.score(0.8, 0.2)
+        assert perfect > partial > 0
+
+    def test_uninformative_pattern_scores_zero(self):
+        fn = InformationGain(n_pos=10, n_neg=10)
+        assert fn.score(1.0, 1.0) == pytest.approx(0.0)
+        assert fn.score(0.0, 0.0) == pytest.approx(0.0)
+
+
+class TestResolve:
+    def test_resolve_names(self):
+        assert isinstance(resolve_score("log-ratio"), LogRatio)
+        assert isinstance(resolve_score("gtest", n_pos=5), GTest)
+        assert isinstance(resolve_score("info_gain", 5, 7), InformationGain)
+
+    def test_resolve_instance_passthrough(self):
+        fn = LogRatio(epsilon=1e-3)
+        assert resolve_score(fn) is fn
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(ValueError):
+            resolve_score("chi-squared")
+
+    def test_resolve_sets_sizes(self):
+        fn = resolve_score("g-test", n_pos=42)
+        assert fn.n_pos == 42

@@ -1,0 +1,89 @@
+"""Unit tests for the sequence encodings (paper Section 4.3 / Figure 9)."""
+
+from repro.core.pattern import TemporalPattern
+from repro.core.sequence import (
+    SequenceEncoding,
+    edge_sequence,
+    encode,
+    enhanced_node_sequence,
+    label_subsequence,
+    node_sequence,
+)
+
+
+class TestNodeSequence:
+    def test_identity_on_normalized_patterns(self):
+        p = TemporalPattern(("A", "B", "C"), ((0, 1), (1, 2)))
+        assert node_sequence(p) == (0, 1, 2)
+
+    def test_single_edge(self):
+        assert node_sequence(TemporalPattern.single_edge("A", "B")) == (0, 1)
+
+
+class TestEdgeSequence:
+    def test_matches_pattern_edges(self):
+        p = TemporalPattern(("A", "B", "C"), ((0, 1), (1, 2), (0, 2)))
+        assert edge_sequence(p) == ((0, 1), (1, 2), (0, 2))
+
+
+class TestEnhancedNodeSequence:
+    def test_first_edge_adds_both_endpoints(self):
+        p = TemporalPattern.single_edge("A", "B")
+        assert enhanced_node_sequence(p) == (0, 1)
+
+    def test_source_skipped_when_last_added(self):
+        # edges: (0,1), (1,2) — node 1 is the last added when edge 2 is
+        # processed, so it is skipped as a source.
+        p = TemporalPattern(("A", "B", "C"), ((0, 1), (1, 2)))
+        assert enhanced_node_sequence(p) == (0, 1, 2)
+
+    def test_source_skipped_when_source_of_previous_edge(self):
+        # edges: (0,1), (0,2) — node 0 was the previous source.
+        p = TemporalPattern(("A", "B", "C"), ((0, 1), (0, 2)))
+        assert enhanced_node_sequence(p) == (0, 1, 2)
+
+    def test_source_rerecorded_after_detour(self):
+        # edges: (0,1), (1,2), (0,3): node 0 is neither last-added (2) nor
+        # the previous source (1), so it is appended again.
+        p = TemporalPattern(("A", "B", "C", "D"), ((0, 1), (1, 2), (0, 3)))
+        assert enhanced_node_sequence(p) == (0, 1, 2, 0, 3)
+
+    def test_backward_growth_recorded(self):
+        # edges: (0,1), (2,1): new source 2 appended, destination 1 always
+        # appended even though it already occurred.
+        p = TemporalPattern(("A", "B", "C"), ((0, 1), (2, 1)))
+        assert enhanced_node_sequence(p) == (0, 1, 2, 1)
+
+    def test_multi_edge_destination_repeats(self):
+        p = TemporalPattern(("A", "B"), ((0, 1), (0, 1)))
+        assert enhanced_node_sequence(p) == (0, 1, 1)
+
+
+class TestLabelSubsequence:
+    def test_positive(self):
+        assert label_subsequence(("A", "C"), ("A", "B", "C"))
+
+    def test_negative_order(self):
+        assert not label_subsequence(("C", "A"), ("A", "B", "C"))
+
+    def test_empty_needle(self):
+        assert label_subsequence((), ("A",))
+
+    def test_needle_longer_than_haystack(self):
+        assert not label_subsequence(("A", "A"), ("A",))
+
+    def test_duplicates_respected(self):
+        assert label_subsequence(("A", "A"), ("A", "B", "A"))
+
+
+class TestEncodingCache:
+    def test_encode_caches_per_pattern(self):
+        p = TemporalPattern.single_edge("A", "B")
+        assert encode(p) is encode(p)
+
+    def test_encoding_fields_consistent(self):
+        p = TemporalPattern(("A", "B", "A"), ((0, 1), (1, 2)))
+        enc = SequenceEncoding(p)
+        assert enc.node_labels == ("A", "B", "A")
+        assert enc.edge_label_pairs == (("A", "B"), ("B", "A"))
+        assert len(enc.enh_labels) == len(enc.enhseq)

@@ -1,0 +1,273 @@
+"""Tests for the syscall simulator substrate (entities, events, behaviors,
+background, collectors)."""
+
+import random
+
+import pytest
+
+from repro.core.errors import DatasetError
+from repro.syscall import (
+    BEHAVIOR_NAMES,
+    BEHAVIORS,
+    CATEGORIES,
+    SIZE_CLASSES,
+    ClosedEnvironment,
+    build_test_data,
+    build_training_data,
+    events_to_graph,
+    get_behavior,
+    merge_streams,
+)
+from repro.syscall.background import generate_background_events
+from repro.syscall.behaviors import SHADOW
+from repro.syscall.collector import TestConfig as LogTestConfig
+from repro.syscall.collector import TrainingConfig
+from repro.syscall.entities import LabelPools, fresh, persistent, pooled
+from repro.syscall.events import SyscallEvent
+
+
+class TestEntities:
+    def test_persistent_key_is_label(self):
+        ref = persistent("file:/etc/passwd")
+        assert ref.is_persistent and ref.label == ref.name
+
+    def test_fresh_and_pooled(self):
+        assert fresh("p", "proc:x").label == "proc:x"
+        assert pooled("f", "tmp_file").pool == "tmp_file"
+
+    def test_pools_draw_all_known(self):
+        pools = LabelPools(random.Random(0))
+        for name in (
+            "user_file", "tmp_file", "src_file", "obj_file", "archive",
+            "download", "remote_host", "ephemeral_port", "log_file",
+            "proc_misc", "deb_package",
+        ):
+            label = pools.draw(name)
+            assert isinstance(label, str) and label
+
+    def test_unknown_pool_raises(self):
+        with pytest.raises(KeyError):
+            LabelPools(random.Random(0)).draw("nope")
+
+
+class TestEvents:
+    def test_events_to_graph_identity(self):
+        events = [
+            SyscallEvent(0, "open", "p1", "proc:x", "f1", "file:y"),
+            SyscallEvent(1, "read", "f1", "file:y", "p1", "proc:x"),
+        ]
+        g = events_to_graph(events)
+        assert g.num_nodes == 2
+        assert g.num_edges == 2
+        assert g.label(0) == "proc:x"
+
+    def test_merge_streams_preserves_internal_order(self):
+        a = [SyscallEvent(i, "a", f"a{i}", "A", "x", "X") for i in range(5)]
+        b = [SyscallEvent(i, "b", f"b{i}", "B", "x", "X") for i in range(5)]
+        merged = merge_streams([a, b], random.Random(0))
+        assert len(merged) == 10
+        assert [e.time for e in merged] == list(range(10))
+        a_keys = [e.src_key for e in merged if e.syscall == "a"]
+        assert a_keys == [f"a{i}" for i in range(5)]
+
+
+class TestBehaviorTemplates:
+    def test_registry_has_twelve(self):
+        assert len(BEHAVIORS) == 12
+        assert set(BEHAVIOR_NAMES) == set(BEHAVIORS)
+
+    def test_size_classes_partition_behaviors(self):
+        all_classed = [n for names in SIZE_CLASSES.values() for n in names]
+        assert sorted(all_classed) == sorted(BEHAVIOR_NAMES)
+
+    def test_five_categories(self):
+        assert len(CATEGORIES) == 5
+        assert {t.category for t in BEHAVIORS.values()} == set(CATEGORIES)
+
+    def test_get_behavior_unknown(self):
+        with pytest.raises(DatasetError):
+            get_behavior("rm-rf-slash")
+
+    @pytest.mark.parametrize("name", BEHAVIOR_NAMES)
+    def test_instantiation_yields_total_order(self, name):
+        rng = random.Random(1)
+        events = get_behavior(name).instantiate(rng, "i1", force_complete=True)
+        times = [e.time for e in events]
+        assert times == list(range(len(events)))
+        graph = events_to_graph(events)
+        assert graph.num_edges == len(events)
+
+    @pytest.mark.parametrize("name", BEHAVIOR_NAMES)
+    def test_core_steps_in_order_when_complete(self, name):
+        template = get_behavior(name)
+        rng = random.Random(7)
+        events = template.instantiate(rng, "i2", force_complete=True)
+        core_pairs = [
+            (s.src.name, s.dst.name) for s in template.steps if s.core
+        ]
+        cursor = 0
+        event_pairs = [(e.src_key.split("#")[0], e.dst_key.split("#")[0]) for e in events]
+        for pair in core_pairs:
+            while cursor < len(event_pairs) and event_pairs[cursor] != pair:
+                cursor += 1
+            assert cursor < len(event_pairs), f"core step {pair} missing/out of order"
+
+    def test_abort_truncates_core(self):
+        template = get_behavior("apt-get-update")
+
+        def core_events(force_complete, seed):
+            events = template.instantiate(random.Random(seed), "i", force_complete)
+            core_srcs = {s.src.name for s in template.steps if s.core}
+            return sum(1 for e in events if e.src_key.split("#")[0] in core_srcs)
+
+        complete = sum(core_events(True, s) for s in range(10))
+        aborted = sum(core_events(False, s) for s in range(10))
+        assert aborted < complete
+
+    def test_determinism_per_seed(self):
+        template = get_behavior("ssh-login")
+        a = template.instantiate(random.Random(5), "x", force_complete=True)
+        b = template.instantiate(random.Random(5), "x", force_complete=True)
+        assert a == b
+
+    def test_scp_shares_ssh_labels_and_differs_in_order(self):
+        rng = random.Random(2)
+        scp = events_to_graph(get_behavior("scp-download").instantiate(rng, "s", True))
+        ssh = events_to_graph(get_behavior("ssh-login").instantiate(rng, "t", True))
+        scp_labels = {l for l in scp.label_set() if not l.startswith("file:/home/u")}
+        ssh_core = {"file:/etc/ssh/ssh_config", "file:/home/.ssh/known_hosts", "proc:ssh"}
+        assert ssh_core <= scp_labels
+        assert ssh_core <= ssh.label_set()
+
+
+class TestBackground:
+    def test_background_never_contains_behavior_cores(self):
+        rng = random.Random(4)
+        for _ in range(10):
+            events = generate_background_events(rng, 80, f"b{rng.random()}")
+            labels = {e.src_label for e in events} | {e.dst_label for e in events}
+            # full login completions never appear in background
+            assert "file:/var/log/wtmp" not in labels
+            assert "proc:wget" not in labels
+            assert "proc:apt-get" not in labels
+
+    def test_failed_auth_fragment_possible(self):
+        rng = random.Random(0)
+        seen_shadow = False
+        for i in range(30):
+            events = generate_background_events(rng, 80, f"c{i}")
+            labels = {e.src_label for e in events}
+            if SHADOW.label in labels:
+                seen_shadow = True
+        assert seen_shadow
+
+    def test_timestamps_dense(self):
+        events = generate_background_events(random.Random(1), 50, "t")
+        assert [e.time for e in events] == list(range(len(events)))
+
+
+class TestClosedEnvironment:
+    def test_collect_counts(self):
+        env = ClosedEnvironment(seed=0)
+        graphs = env.collect("gzip-decompress", 5)
+        assert len(graphs) == 5
+        assert all(g.frozen for g in graphs)
+
+    def test_seed_reproducibility(self):
+        a = ClosedEnvironment(seed=9).collect("wget-download", 3)
+        b = ClosedEnvironment(seed=9).collect("wget-download", 3)
+        assert [g.num_edges for g in a] == [g.num_edges for g in b]
+        assert [tuple(g.labels) for g in a] == [tuple(g.labels) for g in b]
+
+    def test_collect_background(self):
+        env = ClosedEnvironment(seed=0)
+        graphs = env.collect_background(3, (20, 30))
+        assert len(graphs) == 3
+        assert all(20 <= g.num_edges <= 30 for g in graphs)
+
+
+class TestTrainingData:
+    def test_build_with_overrides(self):
+        data = build_training_data(instances_per_behavior=2, background_graphs=3)
+        assert len(data.behavior("ssh-login")) == 2
+        assert len(data.background) == 3
+
+    def test_config_and_overrides_mutually_exclusive(self):
+        with pytest.raises(DatasetError):
+            build_training_data(TrainingConfig(), instances_per_behavior=2)
+
+    def test_invalid_config(self):
+        with pytest.raises(DatasetError):
+            build_training_data(instances_per_behavior=0)
+
+    def test_unknown_behavior_lookup(self):
+        data = build_training_data(instances_per_behavior=1, background_graphs=1)
+        with pytest.raises(DatasetError):
+            data.behavior("nmap-scan")
+
+    def test_subset_fraction(self):
+        data = build_training_data(instances_per_behavior=10, background_graphs=10)
+        half = data.subset(0.5)
+        assert len(half.behavior("gzip-decompress")) == 5
+        assert len(half.background) == 5
+
+    def test_subset_keeps_at_least_one(self):
+        data = build_training_data(instances_per_behavior=2, background_graphs=2)
+        tiny = data.subset(0.01)
+        assert len(tiny.behavior("gzip-decompress")) == 1
+
+    def test_subset_invalid_fraction(self):
+        data = build_training_data(instances_per_behavior=1, background_graphs=1)
+        with pytest.raises(DatasetError):
+            data.subset(0.0)
+
+    def test_max_lifetime_positive(self):
+        data = build_training_data(instances_per_behavior=3, background_graphs=1)
+        assert data.max_lifetime("sshd-login") > 0
+
+    def test_all_graphs_count(self):
+        data = build_training_data(instances_per_behavior=2, background_graphs=3)
+        assert len(data.all_graphs()) == 2 * 12 + 3
+
+
+class TestTestData:
+    def test_instances_and_intervals(self):
+        test = build_test_data(instances=24)
+        assert len(test.instances) == 24
+        # every behavior gets scheduled at least once per 12-block
+        assert {gt.behavior for gt in test.instances} == set(BEHAVIOR_NAMES)
+        for gt in test.instances:
+            assert gt.start <= gt.end
+
+    def test_intervals_disjoint_and_ordered(self):
+        test = build_test_data(instances=24)
+        ordered = sorted(test.instances, key=lambda gt: gt.start)
+        for a, b in zip(ordered, ordered[1:]):
+            assert a.end < b.start
+
+    def test_graph_is_totally_ordered(self):
+        test = build_test_data(instances=12)
+        times = [e.time for e in test.graph.edges]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+
+    def test_instances_of_filter(self):
+        test = build_test_data(instances=24)
+        subset = test.instances_of("gzip-decompress")
+        assert len(subset) == 2
+
+    def test_ground_truth_contains(self):
+        test = build_test_data(instances=12)
+        gt = test.instances[0]
+        assert gt.contains(gt.start, gt.end)
+        assert not gt.contains(gt.start - 1, gt.end)
+
+    def test_config_exclusive_overrides(self):
+        with pytest.raises(DatasetError):
+            build_test_data(LogTestConfig(), instances=5)
+
+    def test_seed_reproducibility(self):
+        a = build_test_data(instances=12, seed=3)
+        b = build_test_data(instances=12, seed=3)
+        assert a.graph.num_edges == b.graph.num_edges
+        assert a.instances == b.instances
