@@ -1,0 +1,7 @@
+"""Experiment benchmarks reproducing the paper's Section 6 tables/figures.
+
+This directory is a package so pytest imports its ``conftest.py`` as
+``benchmarks.conftest`` instead of a top-level ``conftest`` module, which
+used to shadow ``tests/conftest.py`` when both directories were collected
+in one run.
+"""

@@ -7,6 +7,9 @@
    LinearScan miner variant.
 3. Score-function choice — the paper observes the common score functions
    deliver a common set of top patterns.
+4. Graph-index candidate prefilter on/off — the signature-containment
+   stage in front of the miner's subgraph tests must leave the mined
+   pattern set byte-identical while skipping most tester invocations.
 """
 
 import random
@@ -17,7 +20,7 @@ from repro.core.pattern import TemporalPattern
 from repro.core.subgraph import SequenceSubgraphTester
 from repro.experiments.harness import mine_behavior
 
-from conftest import MINING_SECONDS, emit, once
+from benchmarks.bench_common import MINING_SECONDS, emit, once
 
 
 def _random_graph(rng, n_nodes, n_edges, alphabet="ABCD"):
@@ -130,3 +133,56 @@ def test_ablation_score_functions(benchmark, train):
     # paper Section 6.1: the score functions deliver a common set of
     # discriminative patterns
     assert common
+
+
+def test_ablation_index_prefilter(benchmark, train):
+    def run():
+        rows = {}
+        for tester in ("sequence", "vf2"):
+            for indexed in (False, True):
+                config = MinerConfig(
+                    max_edges=5,
+                    min_pos_support=0.7,
+                    subgraph_test=tester,
+                    index_prefilter=indexed,
+                    max_seconds=MINING_SECONDS,
+                )
+                started = time.perf_counter()
+                result = mine_behavior(train, "apt-get-update", config)
+                rows[(tester, indexed)] = (time.perf_counter() - started, result)
+        return rows
+
+    rows = once(benchmark, run)
+    emit("\n=== Ablation: graph-index candidate prefilter ===")
+    emit(
+        f"{'tester':10s} {'index':6s} {'seconds':>8s} {'sub tests':>10s} "
+        f"{'by sig':>10s} {'searched':>10s}"
+    )
+    for (tester, indexed), (seconds, result) in rows.items():
+        stats = result.stats
+        searched = stats.subgraph_tests - stats.index_prefilter_skips
+        flag = " (timed out)" if stats.timed_out else ""
+        emit(
+            f"{tester:10s} {'on' if indexed else 'off':6s} {seconds:8.3f} "
+            f"{stats.subgraph_tests:10d} {stats.index_prefilter_skips:10d} "
+            f"{searched:10d}{flag}"
+        )
+    for tester in ("sequence", "vf2"):
+        base = rows[(tester, False)][1]
+        filt = rows[(tester, True)][1]
+        if base.stats.timed_out or filt.stats.timed_out:
+            # A capped run stops mid-search, so the two runs explored
+            # different pattern sets; byte-identity is only a claim about
+            # completed searches.
+            continue
+        # filter soundness: identical mined pattern sets and scores
+        assert {m.pattern.key() for m in base.best} == {
+            m.pattern.key() for m in filt.best
+        }
+        assert base.best_score == filt.best_score
+        # the prefilter must answer most candidate tests by signature
+        # alone, reducing full mapping searches accordingly
+        searched = filt.stats.subgraph_tests - filt.stats.index_prefilter_skips
+        assert searched <= base.stats.subgraph_tests
+        if base.stats.subgraph_tests >= 100:
+            assert filt.stats.index_prefilter_skips > 0

@@ -11,7 +11,7 @@ from repro.core.miner import MinerConfig
 from repro.core.ranking import rank_patterns
 from repro.experiments.harness import mine_behavior
 
-from conftest import MINING_SECONDS, emit, once
+from benchmarks.bench_common import MINING_SECONDS, emit, once
 
 
 def _top_pattern(train, model, behavior, max_edges=4):

@@ -7,7 +7,7 @@ family member plus one easy behavior, averaged.
 
 from repro.experiments.harness import accuracy_for_behavior
 
-from conftest import emit, once
+from benchmarks.bench_common import emit, once
 
 SIZES = (1, 2, 3, 4, 6)
 BEHAVIORS = ("ssh-login", "wget-download")

@@ -6,7 +6,7 @@ with diminishing returns.
 
 from repro.experiments.harness import accuracy_for_behavior
 
-from conftest import emit, once
+from benchmarks.bench_common import emit, once
 
 FRACTIONS = (0.25, 0.5, 1.0)
 BEHAVIORS = ("ssh-login", "ftp-download")

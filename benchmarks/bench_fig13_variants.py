@@ -16,7 +16,7 @@ import pytest
 from repro.core.miner import MinerConfig, TGMiner, miner_variant
 from repro.experiments.harness import mine_behavior
 
-from conftest import MINING_SECONDS, emit, once
+from benchmarks.bench_common import MINING_SECONDS, emit, once
 
 #: one representative behavior per size class (with a per-class search
 #: depth), to bound total benchmark time

@@ -9,7 +9,7 @@ import time
 from repro.core.miner import MinerConfig
 from repro.experiments.harness import mine_behavior
 
-from conftest import MINING_SECONDS, emit, once
+from benchmarks.bench_common import MINING_SECONDS, emit, once
 
 SIZES = (2, 3, 4, 5)
 BEHAVIORS = {"small": "gzip-decompress", "medium": "ftpd-login", "large": "sshd-login"}

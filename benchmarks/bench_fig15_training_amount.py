@@ -9,7 +9,7 @@ import time
 from repro.core.miner import MinerConfig
 from repro.experiments.harness import mine_behavior
 
-from conftest import MINING_SECONDS, emit, once
+from benchmarks.bench_common import MINING_SECONDS, emit, once
 
 FRACTIONS = (0.25, 0.5, 0.75, 1.0)
 BEHAVIOR = "ftpd-login"

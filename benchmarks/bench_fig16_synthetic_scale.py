@@ -10,7 +10,7 @@ from repro.core.miner import MinerConfig
 from repro.datasets.synthetic import replicate_training_data
 from repro.experiments.harness import mine_behavior
 
-from conftest import MINING_SECONDS, emit, once
+from benchmarks.bench_common import MINING_SECONDS, emit, once
 
 FACTORS = (1, 2, 4)
 BEHAVIOR = "ftp-download"

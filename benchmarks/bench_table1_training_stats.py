@@ -9,7 +9,7 @@ import statistics
 
 from repro.syscall import BEHAVIOR_NAMES, SIZE_CLASSES, build_training_data
 
-from conftest import BACKGROUND_GRAPHS, TRAIN_INSTANCES, emit, once
+from benchmarks.bench_common import BACKGROUND_GRAPHS, TRAIN_INSTANCES, emit, once
 
 
 def _size_class(name: str) -> str:

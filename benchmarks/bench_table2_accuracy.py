@@ -9,7 +9,7 @@ sshd-login); recall roughly tied between TGMiner and Ntemp.
 from repro.experiments.harness import accuracy_for_behavior
 from repro.syscall import BEHAVIOR_NAMES
 
-from conftest import emit, once
+from benchmarks.bench_common import emit, once
 
 MINING_SECONDS = 20.0
 

@@ -8,7 +8,7 @@ on a small fraction (1-10%).
 from repro.core.miner import MinerConfig
 from repro.experiments.harness import mine_behavior
 
-from conftest import MINING_SECONDS, emit, once
+from benchmarks.bench_common import MINING_SECONDS, emit, once
 
 BEHAVIORS = {"small": "ftp-download", "medium": "ftpd-login", "large": "sshd-login"}
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
+from types import MappingProxyType
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.core.errors import GraphError, TimestampOrderError
@@ -217,6 +218,20 @@ class TemporalGraph:
         """
         self._require_frozen()
         return self._pair_edges.get((src_label, dst_label), ())
+
+    def label_pair_index(self) -> Mapping[tuple[str, str], Sequence[int]]:
+        """The full one-edge substructure index: label pair -> edge indexes.
+
+        Keys are ``(src_label, dst_label)`` pairs that occur in the graph;
+        values are time-sorted edge indexes.  This is the same index
+        :meth:`edges_between` reads one entry of; exposing the whole
+        mapping lets index-first consumers (seed enumeration, signature
+        construction) iterate label pairs without scanning edges.  The
+        returned mapping is read-only — the underlying index is part of
+        the frozen graph's invariants.
+        """
+        self._require_frozen()
+        return MappingProxyType(self._pair_edges)
 
     def edge_index_after(self, time: int) -> int:
         """Index of the first edge with timestamp strictly greater than ``time``."""

@@ -21,11 +21,23 @@ Two client roles:
 * :mod:`repro.query.engine`: pattern-vs-log search over large graphs,
   where the index is built once and reused, with an optional time-window
   cap (``max_span``) reflecting bounded behavior durations.
+
+Besides the matcher, this module hosts the **candidate-pruning prefilter**
+used across the mining stack: :class:`Signature` summarizes a pattern or
+graph as its node-label multiset plus edge-label-pair multiset, and
+:class:`CandidateFilter` caches signatures and answers "can ``small``
+possibly embed in ``big``?" in O(|signature|) via multiset containment —
+a sound necessary condition for any injective label-preserving mapping.
+The miner consults it before every subgraph-isomorphism test, the VF2
+matcher seeds its per-node candidate lists from the filter's label index,
+and the query engine rejects pattern-vs-log searches whose signature
+cannot occur in the log at all.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -33,7 +45,17 @@ from repro.core.brute import Match
 from repro.core.graph import TemporalGraph
 from repro.core.pattern import TemporalPattern
 
-__all__ = ["find_matches", "GraphIndexTester", "match_span"]
+__all__ = [
+    "find_matches",
+    "GraphIndexTester",
+    "match_span",
+    "Signature",
+    "CandidateFilter",
+    "FilterStats",
+    "pattern_signature",
+    "graph_signature",
+    "signature_contains",
+]
 
 
 def find_matches(
@@ -140,6 +162,7 @@ class GIStats:
 
     tests: int = 0
     indexes_built: int = 0
+    prefilter_rejections: int = 0
 
 
 @dataclass
@@ -149,9 +172,11 @@ class GraphIndexTester:
     Every test materializes the *big* pattern as a temporal graph and
     freezes it, which (re)builds its one-edge index — reproducing the
     per-discovered-pattern index-construction overhead the paper blames
-    for ``PruneGI``'s slowdown.
+    for ``PruneGI``'s slowdown.  An optional :class:`CandidateFilter`
+    rejects impossible pairs by signature before any index is built.
     """
 
+    prefilter: "CandidateFilter | None" = None
     stats: GIStats = field(default_factory=GIStats)
 
     def contains(self, small: TemporalPattern, big: TemporalPattern) -> bool:
@@ -165,9 +190,170 @@ class GraphIndexTester:
         self.stats.tests += 1
         if small.num_edges > big.num_edges or small.num_nodes > big.num_nodes:
             return None
+        if self.prefilter is not None and not self.prefilter.pattern_vs_pattern(
+            small, big
+        ):
+            self.stats.prefilter_rejections += 1
+            return None
         big_graph = big.as_temporal_graph()
         self.stats.indexes_built += 1
         match = next(find_matches(small, big_graph, limit=1), None)
         if match is None:
             return None
         return match.nodes
+
+
+# ----------------------------------------------------------------------
+# candidate-pruning prefilter
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Signature:
+    """Label summary of a pattern or graph used for containment pretests.
+
+    ``node_labels`` counts nodes per label; ``edge_labels`` counts edges
+    per ``(src_label, dst_label)`` pair.  Both are plain dicts — the
+    signature is built once per object and only read afterwards.
+    """
+
+    node_labels: dict[str, int]
+    edge_labels: dict[tuple[str, str], int]
+
+
+def pattern_signature(pattern: TemporalPattern) -> Signature:
+    """Compute the label signature of a pattern."""
+    labels = pattern.labels
+    edge_pairs = Counter((labels[u], labels[v]) for u, v in pattern.edges)
+    return Signature(dict(Counter(labels)), dict(edge_pairs))
+
+
+def graph_signature(graph: TemporalGraph) -> Signature:
+    """Compute the label signature of a (frozen) temporal graph.
+
+    Reads the per-label-pair edge index built at freeze time, so the cost
+    is proportional to the number of distinct labels and label pairs, not
+    the number of edges.
+    """
+    if not graph.frozen:
+        graph.freeze()
+    node_labels = dict(Counter(graph.labels))
+    edge_labels = {
+        pair: len(idxs) for pair, idxs in graph.label_pair_index().items()
+    }
+    return Signature(node_labels, edge_labels)
+
+
+def signature_contains(big: Signature, small: Signature) -> bool:
+    """Whether ``big``'s signature can cover ``small``'s (multiset-wise).
+
+    A necessary condition for ``small ⊆t big`` (and for any injective
+    label-preserving node mapping): each node label and each edge label
+    pair must occur in ``big`` at least as often as in ``small``.
+    """
+    big_nodes = big.node_labels
+    for label, need in small.node_labels.items():
+        if big_nodes.get(label, 0) < need:
+            return False
+    big_edges = big.edge_labels
+    for pair, need in small.edge_labels.items():
+        if big_edges.get(pair, 0) < need:
+            return False
+    return True
+
+
+@dataclass
+class FilterStats:
+    """Counters for the index-prefilter ablation."""
+
+    checks: int = 0
+    rejections: int = 0
+
+    def rejection_rate(self) -> float:
+        """Fraction of containment checks answered without any search."""
+        if self.checks == 0:
+            return 0.0
+        return self.rejections / self.checks
+
+
+class CandidateFilter:
+    """Signature cache answering "can ``small`` possibly embed in ``big``?".
+
+    One filter instance lives per mining run / query engine; it memoizes
+    pattern and graph signatures (patterns are immutable and hashable,
+    graphs are keyed by identity) plus per-pattern label→nodes indexes
+    used to seed VF2 candidate lists.
+    """
+
+    def __init__(self) -> None:
+        self.stats = FilterStats()
+        self._pattern_sigs: dict[TemporalPattern, Signature] = {}
+        self._graph_sigs: dict[int, Signature] = {}
+        self._graph_refs: dict[int, TemporalGraph] = {}
+        self._label_nodes: dict[TemporalPattern, dict[str, list[int]]] = {}
+
+    # -- signature access ------------------------------------------------
+    def signature_of_pattern(self, pattern: TemporalPattern) -> Signature:
+        """Cached label signature of a pattern."""
+        sig = self._pattern_sigs.get(pattern)
+        if sig is None:
+            sig = pattern_signature(pattern)
+            self._pattern_sigs[pattern] = sig
+        return sig
+
+    def signature_of_graph(self, graph: TemporalGraph) -> Signature:
+        """Cached label signature of a graph (keyed by identity)."""
+        key = id(graph)
+        sig = self._graph_sigs.get(key)
+        if sig is None:
+            sig = graph_signature(graph)
+            self._graph_sigs[key] = sig
+            self._graph_refs[key] = graph  # pin identity for the cache key
+        return sig
+
+    def label_nodes(self, pattern: TemporalPattern) -> dict[str, list[int]]:
+        """Cached label → node-id index of a pattern (VF2 candidate seed)."""
+        index = self._label_nodes.get(pattern)
+        if index is None:
+            index = {}
+            for node, label in enumerate(pattern.labels):
+                index.setdefault(label, []).append(node)
+            self._label_nodes[pattern] = index
+        return index
+
+    # -- containment pretests --------------------------------------------
+    def pattern_vs_pattern(self, small: TemporalPattern, big: TemporalPattern) -> bool:
+        """Whether ``small ⊆t big`` is possible by signature containment."""
+        return self._check(
+            self.signature_of_pattern(big), self.signature_of_pattern(small)
+        )
+
+    def pattern_vs_graph(self, pattern: TemporalPattern, graph: TemporalGraph) -> bool:
+        """Whether ``pattern`` can possibly match inside ``graph``."""
+        return self._check(
+            self.signature_of_graph(graph), self.signature_of_pattern(pattern)
+        )
+
+    def labels_vs_graph(
+        self,
+        node_labels: Counter,
+        edge_label_pairs: set[tuple[str, str]],
+        graph: TemporalGraph,
+    ) -> bool:
+        """Order-free pretest for non-temporal queries.
+
+        ``node_labels`` must be coverable multiset-wise (node mappings are
+        injective even without edge order) and every *distinct* edge label
+        pair must occur in the graph; multi-edge counts are deliberately
+        not compared because an order-free match may reuse one data
+        adjacency for several pattern edges.
+        """
+        small = Signature(
+            dict(node_labels), {pair: 1 for pair in edge_label_pairs}
+        )
+        return self._check(self.signature_of_graph(graph), small)
+
+    def _check(self, big: Signature, small: Signature) -> bool:
+        self.stats.checks += 1
+        ok = signature_contains(big, small)
+        if not ok:
+            self.stats.rejections += 1
+        return ok

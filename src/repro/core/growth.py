@@ -56,6 +56,7 @@ ExtensionKey = tuple[str, object, object]
 
 def seed_patterns(
     graphs: Sequence[TemporalGraph],
+    use_index: bool = False,
 ) -> dict[tuple[str, str], EmbeddingTable]:
     """Enumerate one-edge patterns and their embeddings over ``graphs``.
 
@@ -63,11 +64,29 @@ def seed_patterns(
     table of the corresponding one-edge pattern.  Self-loop data edges are
     skipped: the pattern model has no self-loops (injective node mapping
     over two distinct pattern nodes can never cover one).
+
+    With ``use_index`` the enumeration walks each frozen graph's one-edge
+    label-pair index (:meth:`TemporalGraph.label_pair_index`) instead of
+    scanning its edge list, grouping candidate edges per seed pattern
+    directly; unfrozen graphs fall back to the scan.  Both paths produce
+    identical tables.
     """
     seeds: dict[tuple[str, str], EmbeddingTable] = {}
     for gid, graph in enumerate(graphs):
+        edges = graph.edges
+        if use_index and graph.frozen:
+            for key, idxs in graph.label_pair_index().items():
+                for idx in idxs:
+                    edge = edges[idx]
+                    if edge.src == edge.dst:
+                        continue
+                    table = seeds.setdefault(key, {})
+                    table.setdefault(gid, set()).add(
+                        Embedding((edge.src, edge.dst), idx)
+                    )
+            continue
         labels = graph.labels
-        for idx, edge in enumerate(graph.edges):
+        for idx, edge in enumerate(edges):
             if edge.src == edge.dst:
                 continue
             key = (labels[edge.src], labels[edge.dst])

@@ -20,6 +20,19 @@ temporal subgraph tests default to the sequence/subsequence algorithm.
 Setting the corresponding :class:`MinerConfig` fields reproduces the five
 efficiency baselines of Section 6.3 (``SubPrune``, ``SupPrune``,
 ``PruneGI``, ``PruneVF2``, ``LinearScan``) — see :func:`miner_variant`.
+
+The growth loop's hot path is the subgraph-isomorphism tests issued by
+the two prunings.  With :attr:`MinerConfig.index_prefilter` (default on)
+the run owns a :class:`~repro.core.graph_index.CandidateFilter` shared
+with its tester: candidate pairs whose node-label or edge-label-pair
+multisets cannot nest are answered by signature containment before any
+mapping search (``MiningStats.index_prefilter_skips``), seed enumeration
+walks each graph's one-edge label-pair index, and the VF2 tester seeds
+candidates from the filter's label index.  The prefilter only rejects
+tests that would provably fail, so mined pattern sets are identical with
+it on or off — ``index_prefilter=False`` (CLI ``--no-index``) disables
+it, and :func:`miner_variant` always disables it for the five paper
+baselines so their reproduced cost profiles stay faithful.
 """
 
 from __future__ import annotations
@@ -30,7 +43,7 @@ from typing import Sequence
 
 from repro.core.errors import MiningError
 from repro.core.graph import TemporalGraph
-from repro.core.graph_index import GraphIndexTester
+from repro.core.graph_index import CandidateFilter, GraphIndexTester
 from repro.core.growth import (
     EmbeddingTable,
     child_pattern,
@@ -83,6 +96,10 @@ class MinerConfig:
     residual_equivalence:
         ``"integer"`` (Lemma 6 compression) or ``"linear"`` (LinearScan
         baseline).
+    index_prefilter:
+        Route candidate subgraph tests through the
+        :class:`~repro.core.graph_index.CandidateFilter` signature index
+        (sound pruning only; results are identical either way).
     max_best_patterns:
         Cap on retained co-optimal patterns (ties can be numerous).
     max_seconds:
@@ -98,6 +115,7 @@ class MinerConfig:
     supergraph_pruning: bool = True
     subgraph_test: str = "sequence"
     residual_equivalence: str = "integer"
+    index_prefilter: bool = True
     max_best_patterns: int = 64
     max_seconds: float | None = None
 
@@ -134,6 +152,8 @@ class MiningStats:
     supergraph_pruning_triggers: int = 0
     upper_bound_prunes: int = 0
     subgraph_tests: int = 0
+    index_prefilter_skips: int = 0
+    index_prefilter_checks: int = 0
     residual_equivalence_tests: int = 0
     elapsed_seconds: float = 0.0
     timed_out: bool = False
@@ -226,6 +246,7 @@ class _MiningRun:
         self.best_score = NEG_INF
         self.best: list[MinedPattern] = []
         self.best_by_size: dict[int, MinedPattern] = {}
+        self.filter = CandidateFilter() if config.index_prefilter else None
         self.tester = self._make_tester()
         self.keep_cut_pairs = config.residual_equivalence == "linear"
         # History indexes; key structure depends on the equivalence mode.
@@ -239,15 +260,18 @@ class _MiningRun:
 
     def _make_tester(self):
         if self.config.subgraph_test == "sequence":
-            return SequenceSubgraphTester()
+            return SequenceSubgraphTester(prefilter=self.filter)
         if self.config.subgraph_test == "vf2":
-            return VF2SubgraphTester()
-        return GraphIndexTester()
+            return VF2SubgraphTester(prefilter=self.filter)
+        return GraphIndexTester(prefilter=self.filter)
 
     # ------------------------------------------------------------------
     def execute(self) -> MiningResult:
         started = time.perf_counter()
-        seeds = seed_patterns(list(self.positives) + list(self.negatives))
+        seeds = seed_patterns(
+            list(self.positives) + list(self.negatives),
+            use_index=self.filter is not None,
+        )
         min_count = self.config.min_pos_support * self.n_pos
         for src_label, dst_label in sorted(seeds):
             table = seeds[(src_label, dst_label)]
@@ -262,6 +286,9 @@ class _MiningRun:
             if self._out_of_time():
                 break
         self.stats.elapsed_seconds = time.perf_counter() - started
+        if self.filter is not None:
+            self.stats.index_prefilter_checks = self.filter.stats.checks
+            self.stats.index_prefilter_skips = self.tester.stats.prefilter_rejections
         self.best.sort(key=lambda m: (m.pattern.num_edges, str(m.pattern.key())))
         return MiningResult(
             best_score=self.best_score,
@@ -482,15 +509,23 @@ def miner_variant(name: str, base: MinerConfig | None = None) -> MinerConfig:
     * ``PruneGI``   — both prunings, graph-index subgraph tests;
     * ``PruneVF2``  — both prunings, modified-VF2 subgraph tests;
     * ``LinearScan``— both prunings, linear-scan residual equivalence.
+
+    The five baselines always run with ``index_prefilter=False``: the
+    candidate prefilter is this repo's addition, and reproducing the
+    paper's cost profiles (e.g. PruneGI's per-test index-build overhead)
+    requires leaving them unfiltered.  ``TGMiner`` keeps the base
+    config's setting.
     """
     base = base or MinerConfig()
     table = {
         "tgminer": replace(base),
-        "subprune": replace(base, supergraph_pruning=False),
-        "supprune": replace(base, subgraph_pruning=False),
-        "prunegi": replace(base, subgraph_test="gi"),
-        "prunevf2": replace(base, subgraph_test="vf2"),
-        "linearscan": replace(base, residual_equivalence="linear"),
+        "subprune": replace(base, supergraph_pruning=False, index_prefilter=False),
+        "supprune": replace(base, subgraph_pruning=False, index_prefilter=False),
+        "prunegi": replace(base, subgraph_test="gi", index_prefilter=False),
+        "prunevf2": replace(base, subgraph_test="vf2", index_prefilter=False),
+        "linearscan": replace(
+            base, residual_equivalence="linear", index_prefilter=False
+        ),
     }
     normalized = name.lower().replace("-", "").replace("_", "")
     if normalized not in table:

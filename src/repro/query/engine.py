@@ -17,11 +17,19 @@ Identified instances are deduplicated by their time span: the evaluation
 semantics of Section 6.2 judge an identified instance by the interval
 during which the match happened, so span-identical matches are one
 instance.
+
+The engine owns a :class:`~repro.core.graph_index.CandidateFilter` over
+the test graph (on by default): temporal and non-temporal searches first
+compare the query's label signature against the graph's — a query whose
+node labels or edge label pairs do not occur often enough in the log
+cannot match anywhere, so the search is answered empty without touching
+the edge index.  Disable with ``QueryEngine(graph, use_index=False)``.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
+from collections import Counter
 from typing import Sequence
 
 from repro.baselines.gspan import (
@@ -31,7 +39,7 @@ from repro.baselines.gspan import (
 from repro.baselines.nodeset import NodeSetQuery
 from repro.core.errors import QueryError
 from repro.core.graph import TemporalGraph
-from repro.core.graph_index import find_matches, match_span
+from repro.core.graph_index import CandidateFilter, find_matches, match_span
 from repro.core.pattern import TemporalPattern
 
 __all__ = ["QueryEngine"]
@@ -43,13 +51,16 @@ class QueryEngine:
     """Searches one (large) monitoring temporal graph.
 
     The engine is built once per test graph; the graph's one-edge index
-    (built at freeze time) is shared across all queries.
+    (built at freeze time) and its label signature are shared across all
+    queries.  ``use_index=False`` disables the signature prefilter (the
+    answer sets are identical; only impossible-query searches get slower).
     """
 
-    def __init__(self, graph: TemporalGraph) -> None:
+    def __init__(self, graph: TemporalGraph, use_index: bool = True) -> None:
         if not graph.frozen:
             graph.freeze()
         self.graph = graph
+        self.filter = CandidateFilter() if use_index else None
 
     # ------------------------------------------------------------------
     # temporal behavior queries (TGMiner)
@@ -63,6 +74,10 @@ class QueryEngine:
         """Distinct spans of temporal matches within the span cap."""
         if max_span < 0:
             raise QueryError("max_span must be non-negative")
+        if self.filter is not None and not self.filter.pattern_vs_graph(
+            pattern, self.graph
+        ):
+            return []
         spans: set[Span] = set()
         for match in find_matches(
             pattern, self.graph, max_span=max_span, limit=match_limit
@@ -90,6 +105,12 @@ class QueryEngine:
         """
         if pattern.num_edges == 0:
             raise QueryError("empty non-temporal pattern")
+        if self.filter is not None and not self.filter.labels_vs_graph(
+            Counter(pattern.label(n) for n in range(pattern.num_nodes)),
+            {(pattern.label(u), pattern.label(v)) for u, v in pattern.edges},
+            self.graph,
+        ):
+            return []
         anchor_pair = min(
             (
                 (pattern.label(u), pattern.label(v))
