@@ -19,8 +19,10 @@ benchmark on a tiny synthetic input.
 
 from __future__ import annotations
 
+import json
 import os
 import sys
+from pathlib import Path
 
 import pytest
 
@@ -35,12 +37,37 @@ TEST_INSTANCES = int(os.environ.get("BENCH_TEST_INSTANCES", 48))
 #: Wall-clock cap per mining run (a run hitting the cap is reported as
 #: ">= cap", mirroring the paper's "SupPrune cannot finish within 2 days").
 MINING_SECONDS = float(os.environ.get("BENCH_MINING_SECONDS", 45.0))
+#: Worker counts swept by the parallel scaling ablation.
+PARALLEL_WORKERS = tuple(
+    int(w) for w in os.environ.get("BENCH_PARALLEL_WORKERS", "1,2,4").split(",")
+)
+#: Pattern-depth knobs for the scaling ablation.  CI's smoke run lowers
+#: them so the tiny corpus mines to completion well inside the cap —
+#: a timed-out run is exempt from the byte-identity assertion, and the
+#: smoke job exists precisely to enforce that assertion.
+SEED_MAX_EDGES = int(os.environ.get("BENCH_SEED_MAX_EDGES", 6))
+FAN_MAX_EDGES = int(os.environ.get("BENCH_FAN_MAX_EDGES", 5))
+#: Speedup the scaling ablation must show at its largest worker count —
+#: only enforced when the host actually has that many CPUs (wall-clock
+#: speedup on an oversubscribed box would measure the scheduler, not us).
+MIN_PARALLEL_SPEEDUP = float(os.environ.get("BENCH_MIN_PARALLEL_SPEEDUP", 1.5))
+#: Where BENCH_*.json result files land (CI uploads them as artifacts).
+JSON_DIR = Path(os.environ.get("BENCH_JSON_DIR", "."))
 
 
 def emit(text: str) -> None:
     """Print experiment tables past pytest's capture."""
     sys.__stdout__.write(text + "\n")
     sys.__stdout__.flush()
+
+
+def write_json(name: str, payload: dict) -> Path:
+    """Write a benchmark result file under ``BENCH_JSON_DIR``."""
+    JSON_DIR.mkdir(parents=True, exist_ok=True)
+    path = JSON_DIR / name
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    emit(f"wrote {path}")
+    return path
 
 
 def once(benchmark, fn, *args, **kwargs):

@@ -18,7 +18,11 @@ def _top_pattern(train, model, behavior, max_edges=4):
     result = mine_behavior(
         train,
         behavior,
-        MinerConfig(max_edges=max_edges, min_pos_support=0.7, max_seconds=MINING_SECONDS),
+        MinerConfig(
+            max_edges=max_edges,
+            min_pos_support=0.7,
+            max_seconds=MINING_SECONDS,
+        ),
     )
     ranked = rank_patterns(result.best, model)
     return ranked[0].pattern, result

@@ -13,7 +13,7 @@ import time
 
 import pytest
 
-from repro.core.miner import MinerConfig, TGMiner, miner_variant
+from repro.core.miner import MinerConfig, miner_variant
 from repro.experiments.harness import mine_behavior
 
 from benchmarks.bench_common import MINING_SECONDS, emit, once

@@ -24,7 +24,11 @@ def test_fig15_response_time_vs_training_amount(benchmark, train):
             mine_behavior(
                 subset,
                 BEHAVIOR,
-                MinerConfig(max_edges=4, min_pos_support=0.7, max_seconds=MINING_SECONDS),
+                MinerConfig(
+                    max_edges=4,
+                    min_pos_support=0.7,
+                    max_seconds=MINING_SECONDS,
+                ),
             )
             table[fraction] = time.perf_counter() - started
         return table

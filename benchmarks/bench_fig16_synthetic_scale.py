@@ -25,7 +25,11 @@ def test_fig16_synthetic_scalability(benchmark, train):
             result = mine_behavior(
                 syn,
                 BEHAVIOR,
-                MinerConfig(max_edges=4, min_pos_support=0.7, max_seconds=MINING_SECONDS),
+                MinerConfig(
+                    max_edges=4,
+                    min_pos_support=0.7,
+                    max_seconds=MINING_SECONDS,
+                ),
             )
             table[factor] = (time.perf_counter() - started, result.best_score)
         return table

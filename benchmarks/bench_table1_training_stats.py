@@ -27,13 +27,19 @@ def test_table1_training_statistics(benchmark):
         background_graphs=BACKGROUND_GRAPHS,
     )
     emit("\n=== Table 1: statistics of the training data (scaled) ===")
-    emit(f"{'Behavior':20s} {'avg #nodes':>10s} {'avg #edges':>10s} {'#labels':>8s} {'size':>7s}")
+    emit(
+        f"{'Behavior':20s} {'avg #nodes':>10s} {'avg #edges':>10s} "
+        f"{'#labels':>8s} {'size':>7s}"
+    )
     for name in BEHAVIOR_NAMES:
         graphs = data.behavior(name)
         nodes = statistics.mean(g.num_nodes for g in graphs)
         edges = statistics.mean(g.num_edges for g in graphs)
         labels = len({l for g in graphs for l in g.label_set()})
-        emit(f"{name:20s} {nodes:10.1f} {edges:10.1f} {labels:8d} {_size_class(name):>7s}")
+        emit(
+            f"{name:20s} {nodes:10.1f} {edges:10.1f} {labels:8d} "
+            f"{_size_class(name):>7s}"
+        )
     bg = data.background
     nodes = statistics.mean(g.num_nodes for g in bg)
     edges = statistics.mean(g.num_edges for g in bg)
@@ -44,5 +50,9 @@ def test_table1_training_statistics(benchmark):
     def avg_edges(name):
         return statistics.mean(g.num_edges for g in data.behavior(name))
 
-    assert avg_edges("bzip2-decompress") < avg_edges("ssh-login") < avg_edges("sshd-login")
+    assert (
+        avg_edges("bzip2-decompress")
+        < avg_edges("ssh-login")
+        < avg_edges("sshd-login")
+    )
     assert labels > 300  # background label diversity dwarfs any behavior's

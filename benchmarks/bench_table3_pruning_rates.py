@@ -20,7 +20,11 @@ def test_table3_pruning_trigger_rates(benchmark, train):
             result = mine_behavior(
                 train,
                 behavior,
-                MinerConfig(max_edges=4, min_pos_support=0.7, max_seconds=MINING_SECONDS),
+                MinerConfig(
+                    max_edges=4,
+                    min_pos_support=0.7,
+                    max_seconds=MINING_SECONDS,
+                ),
             )
             rates[cls] = (
                 result.stats.subgraph_trigger_rate(),

@@ -99,7 +99,9 @@ class NonTemporalPattern:
 
     def describe(self) -> str:
         """Human-readable rendering used by examples."""
-        lines = [f"non-temporal pattern, {self.num_nodes} nodes / {self.num_edges} edges:"]
+        lines = [
+            f"non-temporal pattern, {self.num_nodes} nodes / {self.num_edges} edges:"
+        ]
         for u, v in self.edges:
             lines.append(f"  {self.labels[u]} ({u}) -> {self.labels[v]} ({v})")
         return "\n".join(lines)
@@ -278,7 +280,9 @@ class _Run:
                         key = ("i", pu, pv)
                         new_nodes = emb.nodes
                     child = _Embedding(new_nodes, emb.edge_keys | {(u, v)})
-                    out.setdefault(key, {}).setdefault((polarity, gid), set()).add(child)
+                    out.setdefault(key, {}).setdefault((polarity, gid), set()).add(
+                        child
+                    )
         return out
 
     @staticmethod
@@ -307,7 +311,11 @@ class _Run:
         return tuple(parts)
 
     def _record(
-        self, pattern: NonTemporalPattern, score: float, pos_freq: float, neg_freq: float
+        self,
+        pattern: NonTemporalPattern,
+        score: float,
+        pos_freq: float,
+        neg_freq: float,
     ) -> None:
         mined = NonTemporalMined(pattern, score, pos_freq, neg_freq)
         size = pattern.num_edges
@@ -353,9 +361,17 @@ def enumerate_nontemporal_matches(
 
     def ok(node: int, cand: int) -> bool:
         for u, v in pattern.edges:
-            if u == node and assignment[v] != -1 and (cand, assignment[v]) not in adjacency:
+            if (
+                u == node
+                and assignment[v] != -1
+                and (cand, assignment[v]) not in adjacency
+            ):
                 return False
-            if v == node and assignment[u] != -1 and (assignment[u], cand) not in adjacency:
+            if (
+                v == node
+                and assignment[u] != -1
+                and (assignment[u], cand) not in adjacency
+            ):
                 return False
         return True
 

@@ -61,7 +61,10 @@ def mine_ntemp_queries(
             max_span = max(max_span, last - first)
 
     def pattern_interest(pattern: NonTemporalPattern) -> float:
-        return sum(interest.label_interest(pattern.label(n)) for n in range(pattern.num_nodes))
+        return sum(
+            interest.label_interest(pattern.label(n))
+            for n in range(pattern.num_nodes)
+        )
 
     ranked = sorted(
         result.best,

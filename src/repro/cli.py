@@ -4,26 +4,41 @@ Usage (after install)::
 
     python -m repro generate --out data/ --instances 10 --background 30
     python -m repro mine --train data/ --behavior sshd-login --max-edges 6
+    python -m repro experiment --train data/ -j 4
     python -m repro behaviors
 
 The CLI wraps the same pipeline the benchmarks use: datasets are stored
 as jsonl graph files (one directory per corpus), mined queries print as
 human-readable pattern listings.  ``mine --index/--no-index`` toggles the
-graph-index candidate prefilter (identical results, different speed).
+graph-index candidate prefilter (identical results, different speed);
+``mine --workers/-j N`` shards the seed search across N processes via
+:class:`~repro.core.parallel.ParallelMiner` (identical results again),
+and ``experiment`` mines every behavior of a corpus with behavior-level
+fan-out.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
 
 from repro.core.miner import MinerConfig, TGMiner
+from repro.core.parallel import ParallelMiner
 from repro.core.ranking import InterestModel, rank_patterns
 from repro.datasets.io import load_graphs_jsonl, save_graphs_jsonl
 from repro.syscall import BEHAVIOR_NAMES, SIZE_CLASSES, build_training_data
 
 __all__ = ["main", "build_parser"]
+
+
+def _worker_count(value: str) -> int:
+    count = int(value)
+    if count < 0:
+        raise argparse.ArgumentTypeError("worker count must be >= 0")
+    return count
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,8 +73,48 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument(
         "--variant",
         default="TGMiner",
-        choices=["TGMiner", "SubPrune", "SupPrune", "PruneGI", "PruneVF2", "LinearScan"],
+        choices=[
+            "TGMiner",
+            "SubPrune",
+            "SupPrune",
+            "PruneGI",
+            "PruneVF2",
+            "LinearScan",
+        ],
     )
+    mine.add_argument(
+        "--workers",
+        "-j",
+        type=_worker_count,
+        default=1,
+        help="shard the seed search across N processes; 0 = one per CPU "
+        "(mined patterns are byte-identical to the serial run for any "
+        "N, unless a --max-seconds cap cut either search short)",
+    )
+
+    exp = sub.add_parser(
+        "experiment",
+        help="mine every behavior in a corpus, optionally fanning out workers",
+    )
+    exp.add_argument("--train", required=True, help="corpus directory from `generate`")
+    exp.add_argument(
+        "--behaviors",
+        nargs="*",
+        default=None,
+        choices=sorted(BEHAVIOR_NAMES),
+        help="behaviors to mine (default: every behavior file in the corpus)",
+    )
+    exp.add_argument("--max-edges", type=int, default=6)
+    exp.add_argument("--min-support", type=float, default=0.7)
+    exp.add_argument("--max-seconds", type=float, default=None)
+    exp.add_argument(
+        "--workers",
+        "-j",
+        type=_worker_count,
+        default=1,
+        help="mine up to N behaviors concurrently (0 = one per CPU)",
+    )
+    exp.add_argument("--json", dest="json_out", default=None, help="write results JSON")
 
     sub.add_parser("behaviors", help="list the 12 behaviors and size classes")
     return parser
@@ -101,10 +156,18 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             index_prefilter=args.index,
         ),
     )
-    result = TGMiner(config).mine(positives, background)
+    if args.workers != 1:
+        # 0 = one worker per CPU, matching `experiment -j 0`
+        miner = ParallelMiner(config, workers=args.workers or None)
+        workers = miner.workers
+    else:
+        miner = TGMiner(config)
+        workers = 1
+    result = miner.mine(positives, background)
     print(
         f"explored {result.stats.patterns_explored} patterns in "
         f"{result.stats.elapsed_seconds:.2f}s; best score {result.best_score:.3f}"
+        + (f" ({workers} workers)" if workers > 1 else "")
     )
     if config.index_prefilter:
         print(
@@ -115,9 +178,82 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     corpus = positives + background
     model = InterestModel.fit(corpus)
     for rank, mined in enumerate(rank_patterns(result.best, model)[: args.top_k], 1):
-        print(f"\n#{rank} (score {mined.score:.3f}, pos {mined.pos_freq:.2f}, "
-              f"neg {mined.neg_freq:.2f})")
+        print(
+            f"\n#{rank} (score {mined.score:.3f}, pos {mined.pos_freq:.2f}, "
+            f"neg {mined.neg_freq:.2f})"
+        )
         print(mined.pattern.describe())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.harness import mine_all_behaviors
+    from repro.syscall.collector import TrainingConfig, TrainingData
+
+    root = Path(args.train)
+    bg_path = root / "background.jsonl"
+    if not bg_path.exists():
+        print(f"error: corpus files missing under {root}", file=sys.stderr)
+        return 2
+    if args.behaviors:
+        names = list(args.behaviors)
+    else:
+        names = sorted(
+            path.stem
+            for path in root.glob("*.jsonl")
+            if path.stem in BEHAVIOR_NAMES
+        )
+    if not names:
+        print(f"error: no behavior files under {root}", file=sys.stderr)
+        return 2
+    missing = [n for n in names if not (root / f"{n}.jsonl").exists()]
+    if missing:
+        print(f"error: behavior files missing: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    train = TrainingData(
+        config=TrainingConfig(behaviors=tuple(names)),
+        behaviors={n: load_graphs_jsonl(root / f"{n}.jsonl") for n in names},
+        background=load_graphs_jsonl(bg_path),
+    )
+    config = MinerConfig(
+        max_edges=args.max_edges,
+        min_pos_support=args.min_support,
+        max_seconds=args.max_seconds,
+    )
+    workers = args.workers if args.workers != 0 else None
+    started = time.perf_counter()
+    results = mine_all_behaviors(train, names, config, workers=workers)
+    wall = time.perf_counter() - started
+    print(f"{'behavior':22s} {'best':>8s} {'patterns':>9s} {'seconds':>8s}")
+    for name, result in results.items():
+        print(
+            f"{name:22s} {result.best_score:8.3f} "
+            f"{result.stats.patterns_explored:9d} "
+            f"{result.stats.elapsed_seconds:8.2f}"
+        )
+    print(f"mined {len(results)} behaviors in {wall:.2f}s wall-clock")
+    if args.json_out:
+        payload = {
+            "workers": args.workers,
+            "wall_seconds": wall,
+            "behaviors": {
+                name: {
+                    # -inf (nothing mined) is not valid JSON; emit null
+                    "best_score": (
+                        result.best_score
+                        if result.best_score != float("-inf")
+                        else None
+                    ),
+                    "patterns_explored": result.stats.patterns_explored,
+                    "elapsed_seconds": result.stats.elapsed_seconds,
+                    "timed_out": result.stats.timed_out,
+                    "co_optimal_patterns": len(result.best),
+                }
+                for name, result in results.items()
+            },
+        }
+        Path(args.json_out).write_text(json.dumps(payload, indent=2))
+        print(f"wrote {args.json_out}")
     return 0
 
 
@@ -135,6 +271,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "generate": _cmd_generate,
         "mine": _cmd_mine,
+        "experiment": _cmd_experiment,
         "behaviors": _cmd_behaviors,
     }
     return handlers[args.command](args)

@@ -19,9 +19,14 @@ from repro.core.miner import (
     miner_variant,
     VARIANT_NAMES,
 )
+from repro.core.parallel import ParallelMiner, merge_seed_results, mining_fingerprint
 from repro.core.pattern import TemporalPattern
 from repro.core.scoring import GTest, InformationGain, LogRatio, ScoreFunction
-from repro.core.subgraph import SequenceSubgraphTester, find_mapping, is_temporal_subgraph
+from repro.core.subgraph import (
+    SequenceSubgraphTester,
+    find_mapping,
+    is_temporal_subgraph,
+)
 
 __all__ = [
     "DatasetError",
@@ -41,6 +46,9 @@ __all__ = [
     "MiningStats",
     "miner_variant",
     "VARIANT_NAMES",
+    "ParallelMiner",
+    "merge_seed_results",
+    "mining_fingerprint",
     "ScoreFunction",
     "LogRatio",
     "GTest",

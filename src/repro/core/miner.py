@@ -38,7 +38,7 @@ baselines so their reproduced cost profiles stay faithful.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 from repro.core.errors import MiningError
@@ -65,6 +65,7 @@ __all__ = [
     "MiningResult",
     "TGMiner",
     "miner_variant",
+    "split_seed_table",
     "VARIANT_NAMES",
 ]
 
@@ -185,6 +186,20 @@ class MiningResult:
         return self.best[:k]
 
 
+def split_seed_table(
+    table: EmbeddingTable, n_pos: int
+) -> tuple[EmbeddingTable, EmbeddingTable]:
+    """Split one seed's embedding table into positive/negative halves.
+
+    :func:`repro.core.growth.seed_patterns` enumerates seeds over the
+    concatenated ``positives + negatives`` list, so graph ids below
+    ``n_pos`` are positive and the rest are negatives re-based to 0.
+    """
+    pos = {g: e for g, e in table.items() if g < n_pos}
+    neg = {g - n_pos: e for g, e in table.items() if g >= n_pos}
+    return pos, neg
+
+
 @dataclass
 class _HistoryEntry:
     """A fully-explored pattern retained for pruning lookups."""
@@ -218,6 +233,7 @@ class TGMiner:
         negatives: Sequence[TemporalGraph],
     ) -> MiningResult:
         """Mine the most discriminative T-connected temporal patterns."""
+        self.config.validate()
         if not positives:
             raise MiningError("positive graph set must not be empty")
         for graph in list(positives) + list(negatives):
@@ -266,25 +282,38 @@ class _MiningRun:
         return GraphIndexTester(prefilter=self.filter)
 
     # ------------------------------------------------------------------
-    def execute(self) -> MiningResult:
-        started = time.perf_counter()
-        seeds = seed_patterns(
-            list(self.positives) + list(self.negatives),
-            use_index=self.filter is not None,
+    def reset(self) -> None:
+        """Clear search state so one run object can mine seeds in isolation.
+
+        The candidate filter and tester are deliberately retained: their
+        signature caches are sound (they never change which patterns are
+        mined, only how fast tests are answered), and rebuilding them per
+        seed would defeat the point of a per-worker run object.  Used by
+        :mod:`repro.core.parallel` to give every seed subtree a fresh
+        pruning history and incumbent set.
+        """
+        self.stats = MiningStats()
+        self.best_score = NEG_INF
+        self.best = []
+        self.best_by_size = {}
+        self.sub_index = {}
+        self.super_index = {}
+        self.deadline = (
+            time.perf_counter() + self.config.max_seconds
+            if self.config.max_seconds is not None
+            else None
         )
-        min_count = self.config.min_pos_support * self.n_pos
-        for src_label, dst_label in sorted(seeds):
-            table = seeds[(src_label, dst_label)]
-            pos_embs = {g: e for g, e in table.items() if g < self.n_pos}
-            if len(pos_embs) < min_count:
-                continue
-            neg_embs = {
-                g - self.n_pos: e for g, e in table.items() if g >= self.n_pos
-            }
-            pattern = TemporalPattern.single_edge(src_label, dst_label)
-            self._dfs(pattern, pos_embs, neg_embs)
-            if self._out_of_time():
-                break
+
+    def run_seed(
+        self, src_label: str, dst_label: str, table: EmbeddingTable
+    ) -> None:
+        """Explore one seed pattern's subtree from its embedding table."""
+        pos_embs, neg_embs = split_seed_table(table, self.n_pos)
+        pattern = TemporalPattern.single_edge(src_label, dst_label)
+        self._dfs(pattern, pos_embs, neg_embs)
+
+    def finalize(self, started: float) -> MiningResult:
+        """Harvest filter counters, rank co-optimals, build the result."""
         self.stats.elapsed_seconds = time.perf_counter() - started
         if self.filter is not None:
             self.stats.index_prefilter_checks = self.filter.stats.checks
@@ -296,6 +325,25 @@ class _MiningRun:
             best_by_size=self.best_by_size,
             stats=self.stats,
         )
+
+    def execute(self) -> MiningResult:
+        started = time.perf_counter()
+        seeds = seed_patterns(
+            list(self.positives) + list(self.negatives),
+            use_index=self.filter is not None,
+        )
+        min_count = self.config.min_pos_support * self.n_pos
+        for src_label, dst_label in sorted(seeds):
+            table = seeds[(src_label, dst_label)]
+            # cheap support pre-check before materializing the split
+            if sum(1 for gid in table if gid < self.n_pos) < min_count:
+                continue
+            pos_embs, neg_embs = split_seed_table(table, self.n_pos)
+            pattern = TemporalPattern.single_edge(src_label, dst_label)
+            self._dfs(pattern, pos_embs, neg_embs)
+            if self._out_of_time():
+                break
+        return self.finalize(started)
 
     # ------------------------------------------------------------------
     def _dfs(
@@ -475,7 +523,10 @@ class _MiningRun:
         if score > self.best_score:
             self.best_score = score
             self.best = [mined]
-        elif score == self.best_score and len(self.best) < self.config.max_best_patterns:
+        elif (
+            score == self.best_score
+            and len(self.best) < self.config.max_best_patterns
+        ):
             self.best.append(mined)
 
     def _out_of_time(self) -> bool:
@@ -529,5 +580,7 @@ def miner_variant(name: str, base: MinerConfig | None = None) -> MinerConfig:
     }
     normalized = name.lower().replace("-", "").replace("_", "")
     if normalized not in table:
-        raise MiningError(f"unknown miner variant {name!r}; choose from {VARIANT_NAMES}")
+        raise MiningError(
+            f"unknown miner variant {name!r}; choose from {VARIANT_NAMES}"
+        )
     return table[normalized]

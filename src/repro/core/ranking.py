@@ -76,7 +76,9 @@ class InterestModel:
 
     def pattern_interest(self, pattern: TemporalPattern) -> float:
         """Sum of node-label interests over the pattern's nodes."""
-        return sum(self.label_interest(pattern.label(n)) for n in range(pattern.num_nodes))
+        return sum(
+            self.label_interest(pattern.label(n)) for n in range(pattern.num_nodes)
+        )
 
 
 def rank_patterns(

@@ -109,7 +109,9 @@ class InformationGain(ScoreFunction):
         if p_pattern <= 0.0 or p_pattern >= 1.0:
             return 0.0
         p_pos_given_present = (pos_freq * self.n_pos) / (p_pattern * total)
-        p_pos_given_absent = ((1.0 - pos_freq) * self.n_pos) / ((1.0 - p_pattern) * total)
+        p_pos_given_absent = ((1.0 - pos_freq) * self.n_pos) / (
+            (1.0 - p_pattern) * total
+        )
         gain = base - (
             p_pattern * _entropy(p_pos_given_present)
             + (1.0 - p_pattern) * _entropy(p_pos_given_absent)
@@ -124,7 +126,11 @@ def _entropy(p: float) -> float:
     return -(p * math.log(p) + (1.0 - p) * math.log(1.0 - p))
 
 
-def resolve_score(spec: str | ScoreFunction, n_pos: int = 1, n_neg: int = 1) -> ScoreFunction:
+def resolve_score(
+    spec: str | ScoreFunction,
+    n_pos: int = 1,
+    n_neg: int = 1,
+) -> ScoreFunction:
     """Resolve a score-function spec (name or instance) to an instance.
 
     Recognized names: ``"log-ratio"``, ``"g-test"``, ``"info-gain"``.

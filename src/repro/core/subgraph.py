@@ -169,6 +169,9 @@ def is_temporal_subgraph(small: TemporalPattern, big: TemporalPattern) -> bool:
     return _DEFAULT_TESTER.contains(small, big)
 
 
-def find_mapping(small: TemporalPattern, big: TemporalPattern) -> tuple[int, ...] | None:
+def find_mapping(
+    small: TemporalPattern,
+    big: TemporalPattern,
+) -> tuple[int, ...] | None:
     """Module-level convenience wrapper returning a witness mapping."""
     return _DEFAULT_TESTER.mapping(small, big)

@@ -18,7 +18,10 @@ from repro.syscall.collector import TrainingData
 __all__ = ["replicate_graphs", "replicate_training_data"]
 
 
-def replicate_graphs(graphs: Sequence[TemporalGraph], factor: int) -> list[TemporalGraph]:
+def replicate_graphs(
+    graphs: Sequence[TemporalGraph],
+    factor: int,
+) -> list[TemporalGraph]:
     """Return each graph repeated ``factor`` times (SYN-``factor``).
 
     Graphs are immutable once frozen, so replicas share the underlying

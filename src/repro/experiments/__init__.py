@@ -6,6 +6,7 @@ from repro.experiments.harness import (
     formulate_nodeset_query,
     formulate_ntemp_queries,
     formulate_tgminer_queries,
+    mine_all_behaviors,
     mine_behavior,
     span_cap,
 )
@@ -16,6 +17,7 @@ __all__ = [
     "formulate_nodeset_query",
     "formulate_ntemp_queries",
     "formulate_tgminer_queries",
+    "mine_all_behaviors",
     "mine_behavior",
     "span_cap",
 ]

@@ -10,9 +10,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Sequence
+
 from repro.baselines.nodeset import NodeSetQuery, mine_nodeset_query
 from repro.baselines.ntemp import NtempQuery, mine_ntemp_queries
+from repro.core.errors import MiningError
+from repro.core.graph import TemporalGraph
 from repro.core.miner import MinerConfig, MiningResult, TGMiner
+from repro.core.parallel import ParallelMiner, default_workers, run_sharded
 from repro.core.pattern import TemporalPattern
 from repro.core.ranking import InterestModel, rank_patterns
 from repro.query.engine import QueryEngine
@@ -22,6 +27,7 @@ from repro.syscall.collector import TestData, TrainingData
 __all__ = [
     "span_cap",
     "mine_behavior",
+    "mine_all_behaviors",
     "formulate_tgminer_queries",
     "formulate_ntemp_queries",
     "formulate_nodeset_query",
@@ -36,7 +42,11 @@ __all__ = [
 DEFAULT_SPAN_SLACK = 2.5
 
 
-def span_cap(train: TrainingData, behavior: str, slack: float = DEFAULT_SPAN_SLACK) -> int:
+def span_cap(
+    train: TrainingData,
+    behavior: str,
+    slack: float = DEFAULT_SPAN_SLACK,
+) -> int:
     """Match-window cap: longest observed lifetime with interleave slack."""
     return int(train.max_lifetime(behavior) * slack)
 
@@ -54,6 +64,96 @@ def mine_behavior(
     """Run TGMiner for one behavior (positives) vs. background (negatives)."""
     miner = TGMiner(config or MinerConfig())
     return miner.mine(train.behavior(behavior), train.background)
+
+
+# ----------------------------------------------------------------------
+# behavior-level fan-out
+# ----------------------------------------------------------------------
+
+_FANOUT_STATE: tuple[MinerConfig, list[TemporalGraph]] | None = None
+
+
+def _init_behavior_worker(
+    config: MinerConfig,
+    background: list[TemporalGraph],
+) -> None:
+    # the shared negative set rides in the one-time initializer; each
+    # task carries only its own behavior's positive graphs, so a worker
+    # never unpickles behaviors it does not mine
+    global _FANOUT_STATE
+    _FANOUT_STATE = (config, background)
+
+
+def _mine_behavior_task(
+    item: tuple[str, list[TemporalGraph]],
+) -> tuple[str, MiningResult]:
+    assert _FANOUT_STATE is not None
+    name, positives = item
+    config, background = _FANOUT_STATE
+    return name, TGMiner(config).mine(positives, background)
+
+
+def _clear_fanout_state() -> None:
+    # an inline (workers=1) run sets the module global in this process;
+    # drop it so the corpus can be garbage-collected in library use
+    global _FANOUT_STATE
+    _FANOUT_STATE = None
+
+
+def mine_all_behaviors(
+    train: TrainingData,
+    behaviors: Sequence[str] | None = None,
+    config: MinerConfig | None = None,
+    workers: int | None = 1,
+    seed_workers: int = 1,
+    start_method: str | None = None,
+) -> dict[str, MiningResult]:
+    """Mine every behavior of a corpus, fanning runs out across workers.
+
+    The paper mines each behavior independently against the shared
+    background set — an embarrassingly parallel outer loop.  With
+    ``workers > 1`` each behavior's full mining run executes in its own
+    pool process (serial :class:`TGMiner` inside, so per-behavior results
+    are trivially byte-identical to a serial loop); ``workers=None`` or
+    ``0`` means one worker per CPU, matching the CLI's ``-j 0``.
+    Alternatively ``seed_workers > 1`` parallelizes *within* each
+    behavior via :class:`~repro.core.parallel.ParallelMiner`'s seed
+    sharding, mining behaviors one after another — the two levels do
+    NOT compose (pool workers are daemonic and cannot spawn a nested
+    pool), so asking for both raises.
+
+    Returns an ordered mapping ``behavior name -> MiningResult`` in the
+    requested (or corpus) behavior order.
+    """
+    names = list(behaviors) if behaviors is not None else list(train.config.behaviors)
+    behavior_map = {name: train.behavior(name) for name in names}
+    config = config or MinerConfig()
+    config.validate()
+    workers = default_workers() if workers in (None, 0) else int(workers)
+    if seed_workers > 1:
+        if workers > 1:
+            raise MiningError(
+                "workers and seed_workers cannot both exceed 1: pool "
+                "workers are daemonic and cannot spawn a nested pool"
+            )
+        return {
+            name: ParallelMiner(
+                config, workers=seed_workers, start_method=start_method
+            ).mine(behavior_map[name], train.background)
+            for name in names
+        }
+    try:
+        results = run_sharded(
+            [(name, behavior_map[name]) for name in names],
+            _mine_behavior_task,
+            workers=workers,
+            initializer=_init_behavior_worker,
+            initargs=(config, train.background),
+            start_method=start_method,
+        )
+    finally:
+        _clear_fanout_state()
+    return dict(results)
 
 
 def formulate_tgminer_queries(

@@ -164,7 +164,11 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # node-set keyword queries (NodeSet)
     # ------------------------------------------------------------------
-    def search_nodeset(self, query: NodeSetQuery, max_span: int | None = None) -> list[Span]:
+    def search_nodeset(
+        self,
+        query: NodeSetQuery,
+        max_span: int | None = None,
+    ) -> list[Span]:
         """Minimal windows where all query labels have active nodes.
 
         Sweeps the label-activity event stream with two pointers and
@@ -210,7 +214,10 @@ class QueryEngine:
         """Times at which a node with ``label`` touches an edge (sorted)."""
         times: list[int] = []
         for edge in self.graph.edges:
-            if self.graph.label(edge.src) == label or self.graph.label(edge.dst) == label:
+            if (
+                self.graph.label(edge.src) == label
+                or self.graph.label(edge.dst) == label
+            ):
                 times.append(edge.time)
         return times
 

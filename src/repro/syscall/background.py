@@ -107,13 +107,23 @@ def generate_background_events(
         elif roll < 0.80:
             events.append(
                 SyscallEvent(
-                    i, "write", B.RSYSLOG.label, B.RSYSLOG.label, B.SYSLOG.label, B.SYSLOG.label
+                    i,
+                    "write",
+                    B.RSYSLOG.label,
+                    B.RSYSLOG.label,
+                    B.SYSLOG.label,
+                    B.SYSLOG.label,
                 )
             )
         elif roll < 0.88:
             events.append(
                 SyscallEvent(
-                    i, "open", B.CRON.label, B.CRON.label, B.CRONTAB.label, B.CRONTAB.label
+                    i,
+                    "open",
+                    B.CRON.label,
+                    B.CRON.label,
+                    B.CRONTAB.label,
+                    B.CRONTAB.label,
                 )
             )
         else:
@@ -121,7 +131,9 @@ def generate_background_events(
             helper_key = f"h{i}#{stream_id}"
             helper_label = pools.draw("proc_misc")
             events.append(
-                SyscallEvent(i, "fork", B.BASH.label, B.BASH.label, helper_key, helper_label)
+                SyscallEvent(
+                    i, "fork", B.BASH.label, B.BASH.label, helper_key, helper_label
+                )
             )
     # Renumber: the injected fragment above used placeholder times, so
     # assign dense strictly-increasing timestamps over the final order.

@@ -198,7 +198,9 @@ class BehaviorTemplate:
 
         steps = list(self.steps)
         aborted = (
-            rng.random() < self.abort_prob if force_complete is None else not force_complete
+            rng.random() < self.abort_prob
+            if force_complete is None
+            else not force_complete
         )
         if aborted:
             core_positions = [i for i, s in enumerate(steps) if s.core]
@@ -217,7 +219,9 @@ class BehaviorTemplate:
             dst_key, dst_label = resolve(step.dst)
             for _ in range(count):
                 behavior_events.append(
-                    SyscallEvent(0, step.syscall, src_key, src_label, dst_key, dst_label)
+                    SyscallEvent(
+                        0, step.syscall, src_key, src_label, dst_key, dst_label
+                    )
                 )
 
         noise_events = self._noise(rng, resolve, instance_id)
@@ -238,27 +242,47 @@ class BehaviorTemplate:
             if choice < 0.30:
                 label = pools.draw("tmp_file")
                 events.append(
-                    SyscallEvent(0, "open", main_key, main_label, f"n{i}#{instance_id}", label)
+                    SyscallEvent(
+                        0, "open", main_key, main_label, f"n{i}#{instance_id}", label
+                    )
                 )
             elif choice < 0.45:
                 target = rng.choice((LOCALE, PASSWD, NSSWITCH, PROC_STAT, LD_CACHE))
                 events.append(
-                    SyscallEvent(0, "open", main_key, main_label, target.label, target.label)
+                    SyscallEvent(
+                        0, "open", main_key, main_label, target.label, target.label
+                    )
                 )
             elif choice < 0.60:
                 label = pools.draw("user_file")
                 events.append(
-                    SyscallEvent(0, "read", main_key, main_label, f"n{i}#{instance_id}", label)
+                    SyscallEvent(
+                        0, "read", main_key, main_label, f"n{i}#{instance_id}", label
+                    )
                 )
             elif choice < 0.80:
                 job = pools.draw("proc_misc")
                 tmp = pools.draw("log_file")
                 events.append(
-                    SyscallEvent(0, "write", f"j{i}#{instance_id}", job, f"l{i}#{instance_id}", tmp)
+                    SyscallEvent(
+                        0,
+                        "write",
+                        f"j{i}#{instance_id}",
+                        job,
+                        f"l{i}#{instance_id}",
+                        tmp,
+                    )
                 )
             else:
                 events.append(
-                    SyscallEvent(0, "write", RSYSLOG.label, RSYSLOG.label, SYSLOG.label, SYSLOG.label)
+                    SyscallEvent(
+                        0,
+                        "write",
+                        RSYSLOG.label,
+                        RSYSLOG.label,
+                        SYSLOG.label,
+                        SYSLOG.label,
+                    )
                 )
         return events
 
@@ -270,7 +294,9 @@ def _interleave(rng, primary: list[SyscallEvent], noise: list[SyscallEvent]) -> 
     while i < len(primary) or j < len(noise):
         remaining_primary = len(primary) - i
         remaining_noise = len(noise) - j
-        take_primary = rng.random() < remaining_primary / (remaining_primary + remaining_noise)
+        take_primary = rng.random() < remaining_primary / (
+            remaining_primary + remaining_noise
+        )
         if take_primary:
             merged.append(primary[i])
             i += 1

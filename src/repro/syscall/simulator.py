@@ -41,7 +41,9 @@ class ClosedEnvironment:
     ) -> TemporalGraph:
         """Execute one behavior instance and return its temporal graph."""
         template = (
-            behavior if isinstance(behavior, BehaviorTemplate) else get_behavior(behavior)
+            behavior
+            if isinstance(behavior, BehaviorTemplate)
+            else get_behavior(behavior)
         )
         self._run_counter += 1
         instance_id = f"run{self._run_counter}"
@@ -57,7 +59,11 @@ class ClosedEnvironment:
         """Run a behavior ``runs`` times (paper: 100 independent executions)."""
         return [self.run(behavior, force_complete) for _ in range(runs)]
 
-    def collect_background(self, graphs: int, events_range: tuple[int, int]) -> list[TemporalGraph]:
+    def collect_background(
+        self,
+        graphs: int,
+        events_range: tuple[int, int],
+    ) -> list[TemporalGraph]:
         """Sample background temporal graphs (paper: 10,000 samples over 7 days)."""
         out: list[TemporalGraph] = []
         for _ in range(graphs):

@@ -1,7 +1,5 @@
 """Tests for the Ntemp (non-temporal miner) and NodeSet baselines."""
 
-import random
-
 import pytest
 
 from repro.baselines.gspan import (

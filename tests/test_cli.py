@@ -14,6 +14,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["mine", "--train", "x", "--behavior", "nmap"])
 
+    def test_negative_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["mine", "--train", "x", "--behavior", "sshd-login", "-j", "-1"]
+            )
+
 
 class TestCommands:
     def test_behaviors_lists_all(self, capsys):
@@ -64,4 +70,81 @@ class TestCommands:
             ["mine", "--train", str(tmp_path), "--behavior", "gzip-decompress"]
         )
         assert code == 2
+        assert "missing" in capsys.readouterr().err
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    root = tmp_path_factory.mktemp("corpus")
+    assert (
+        main(["generate", "--out", str(root), "--instances", "4", "--background", "6"])
+        == 0
+    )
+    return root
+
+
+class TestWorkers:
+    def test_mine_parallel_matches_serial_output(self, corpus, capsys):
+        args = [
+            "mine",
+            "--train",
+            str(corpus),
+            "--behavior",
+            "gzip-decompress",
+            "--max-edges",
+            "3",
+        ]
+        assert main(args) == 0
+        serial_out = capsys.readouterr().out
+        assert main(args + ["-j", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        # identical mined patterns; only the stats line may differ
+        assert serial_out.split("\n\n", 1)[1] == parallel_out.split("\n\n", 1)[1]
+        assert "(2 workers)" in parallel_out
+        # -j 0 = one worker per CPU, mirroring `experiment -j 0`
+        assert main(args + ["-j", "0"]) == 0
+        cpu_out = capsys.readouterr().out
+        assert serial_out.split("\n\n", 1)[1] == cpu_out.split("\n\n", 1)[1]
+
+
+class TestExperiment:
+    def test_experiment_all_behaviors(self, corpus, capsys, tmp_path):
+        out_json = tmp_path / "exp.json"
+        assert (
+            main(
+                [
+                    "experiment",
+                    "--train",
+                    str(corpus),
+                    "--behaviors",
+                    "gzip-decompress",
+                    "bzip2-decompress",
+                    "--max-edges",
+                    "3",
+                    "-j",
+                    "2",
+                    "--json",
+                    str(out_json),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "gzip-decompress" in out and "bzip2-decompress" in out
+        assert "mined 2 behaviors" in out
+        import json
+
+        payload = json.loads(out_json.read_text())
+        assert set(payload["behaviors"]) == {"gzip-decompress", "bzip2-decompress"}
+        assert payload["behaviors"]["gzip-decompress"]["best_score"] > 0
+
+    def test_experiment_discovers_corpus_behaviors(self, corpus, capsys):
+        assert (
+            main(["experiment", "--train", str(corpus), "--max-edges", "2"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "sshd-login" in out
+
+    def test_experiment_missing_corpus_errors(self, tmp_path, capsys):
+        assert main(["experiment", "--train", str(tmp_path)]) == 2
         assert "missing" in capsys.readouterr().err

@@ -82,17 +82,23 @@ class TestBlocks:
 
     def test_may_contain_positive(self):
         big = concurrent_blocks(EDGES, LABELS)
-        small = concurrent_blocks([TemporalEdge(0, 1, 0), TemporalEdge(1, 2, 1)], LABELS)
+        small = concurrent_blocks(
+            [TemporalEdge(0, 1, 0), TemporalEdge(1, 2, 1)], LABELS
+        )
         assert big.may_contain(small)
 
     def test_may_contain_respects_block_order(self):
         big = concurrent_blocks(EDGES, LABELS)
         # needs C->A before A->B: impossible
-        small = concurrent_blocks([TemporalEdge(2, 0, 0), TemporalEdge(0, 1, 1)], LABELS)
+        small = concurrent_blocks(
+            [TemporalEdge(2, 0, 0), TemporalEdge(0, 1, 1)], LABELS
+        )
         assert not big.may_contain(small)
 
     def test_may_contain_requires_block_cover(self):
         big = concurrent_blocks(EDGES, LABELS)
         # one block needing both A->B and B->C simultaneously: no block covers it
-        small = concurrent_blocks([TemporalEdge(0, 1, 5), TemporalEdge(1, 2, 5)], LABELS)
+        small = concurrent_blocks(
+            [TemporalEdge(0, 1, 5), TemporalEdge(1, 2, 5)], LABELS
+        )
         assert not big.may_contain(small)

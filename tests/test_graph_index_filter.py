@@ -161,8 +161,14 @@ def mining_corpus(seed=0, n_pos=6, n_neg=6):
     """Dense shared-alphabet corpus so pruning lookups (and hence the
     prefilter) actually fire during mining."""
     rng = random.Random(seed)
-    pos = [random_temporal_graph(rng, n_nodes=5, n_edges=14, alphabet="AB") for _ in range(n_pos)]
-    neg = [random_temporal_graph(rng, n_nodes=5, n_edges=14, alphabet="AB") for _ in range(n_neg)]
+    pos = [
+        random_temporal_graph(rng, n_nodes=5, n_edges=14, alphabet="AB")
+        for _ in range(n_pos)
+    ]
+    neg = [
+        random_temporal_graph(rng, n_nodes=5, n_edges=14, alphabet="AB")
+        for _ in range(n_neg)
+    ]
     return pos, neg
 
 

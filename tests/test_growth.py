@@ -66,7 +66,10 @@ class TestExtensions:
         assert child_pattern(p, ("i", 1, 0)).edges == ((0, 1), (1, 0))
 
     def test_cut_points(self):
-        embs = {3: {Embedding((0, 1), 5), Embedding((2, 1), 5)}, 1: {Embedding((0, 1), 2)}}
+        embs = {
+            3: {Embedding((0, 1), 5), Embedding((2, 1), 5)},
+            1: {Embedding((0, 1), 2)},
+        }
         points = sorted(cut_points(embs))
         assert points == [(1, 2), (3, 5), (3, 5)]
 
@@ -155,8 +158,8 @@ class TestCompleteness:
         rng = random.Random(9)
         g1 = random_temporal_graph(rng, n_nodes=4, n_edges=5, alphabet="AB")
         g2 = random_temporal_graph(rng, n_nodes=4, n_edges=5, alphabet="AB")
-        expected = enumerate_t_connected_patterns(g1, 3) | enumerate_t_connected_patterns(
-            g2, 3
-        )
+        expected = enumerate_t_connected_patterns(
+            g1, 3
+        ) | enumerate_t_connected_patterns(g2, 3)
         result = self._explored_patterns([g1, g2])
         assert result.stats.patterns_explored == len(expected)

@@ -8,10 +8,13 @@ from repro.experiments.harness import (
     formulate_ntemp_queries,
     formulate_tgminer_queries,
     interest_model,
+    mine_all_behaviors,
     mine_behavior,
     span_cap,
 )
+from repro.core.errors import DatasetError, MiningError
 from repro.core.miner import MinerConfig
+from repro.core.parallel import mining_fingerprint
 from repro.query.engine import QueryEngine
 from repro.syscall import build_test_data, build_training_data
 
@@ -47,7 +50,9 @@ class TestFormulation:
 
     def test_span_cap_scales_lifetime(self, small_world):
         train, _test, _engine, _model = small_world
-        assert span_cap(train, "gzip-decompress") > train.max_lifetime("gzip-decompress")
+        assert span_cap(train, "gzip-decompress") > train.max_lifetime(
+            "gzip-decompress"
+        )
 
     def test_mine_behavior_stats(self, small_world):
         train, _test, _engine, _model = small_world
@@ -56,6 +61,57 @@ class TestFormulation:
         )
         assert result.stats.patterns_explored > 0
         assert result.best_score > 0
+
+
+class TestBehaviorFanOut:
+    BEHAVIORS = ("gzip-decompress", "bzip2-decompress", "wget-download")
+
+    def test_fan_out_matches_serial_loop(self, small_world):
+        train, _test, _engine, _model = small_world
+        config = MinerConfig(max_edges=3, min_pos_support=0.7)
+        serial = {
+            name: mine_behavior(train, name, config) for name in self.BEHAVIORS
+        }
+        for workers in (1, 3):
+            fanned = mine_all_behaviors(
+                train, self.BEHAVIORS, config, workers=workers
+            )
+            assert list(fanned) == list(self.BEHAVIORS)
+            for name in self.BEHAVIORS:
+                assert mining_fingerprint(fanned[name]) == mining_fingerprint(
+                    serial[name]
+                ), f"{name} workers={workers}"
+
+    def test_seed_workers_compose(self, small_world):
+        train, _test, _engine, _model = small_world
+        config = MinerConfig(max_edges=3, min_pos_support=0.7)
+        serial = mine_behavior(train, "gzip-decompress", config)
+        sharded = mine_all_behaviors(
+            train, ("gzip-decompress",), config, seed_workers=2
+        )
+        assert mining_fingerprint(sharded["gzip-decompress"]) == mining_fingerprint(
+            serial
+        )
+
+    def test_defaults_to_corpus_behaviors(self, small_world):
+        train, _test, _engine, _model = small_world
+        results = mine_all_behaviors(
+            train, config=MinerConfig(max_edges=2, min_pos_support=0.7)
+        )
+        assert list(results) == list(train.config.behaviors)
+
+    def test_unknown_behavior_rejected(self, small_world):
+        train, _test, _engine, _model = small_world
+        with pytest.raises(DatasetError):
+            mine_all_behaviors(train, ("nmap-scan",))
+
+    def test_both_parallelism_levels_rejected(self, small_world):
+        # pool workers are daemonic and cannot spawn a nested pool
+        train, _test, _engine, _model = small_world
+        with pytest.raises(MiningError):
+            mine_all_behaviors(
+                train, ("gzip-decompress",), workers=2, seed_workers=2
+            )
 
 
 class TestAccuracyEndToEnd:

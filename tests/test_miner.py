@@ -13,7 +13,7 @@ from repro.core.miner import (
     miner_variant,
 )
 
-from conftest import build_graph, random_temporal_graph
+from conftest import random_temporal_graph
 
 
 def planted_dataset(seed=0, n_pos=8, n_neg=8, noise=6):
@@ -181,6 +181,16 @@ class TestConfig:
     def test_miner_validates_on_construction(self):
         with pytest.raises(MiningError):
             TGMiner(MinerConfig(max_edges=-1))
+
+    def test_mine_validates_config(self):
+        # construction-time validation can be sidestepped by swapping the
+        # config afterwards; mine() must re-validate at entry instead of
+        # mining garbage
+        pos, neg = planted_dataset()
+        miner = TGMiner()
+        miner.config = MinerConfig(min_pos_support=-0.5)
+        with pytest.raises(MiningError):
+            miner.mine(pos, neg)
 
 
 class TestLimits:

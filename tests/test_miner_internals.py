@@ -9,7 +9,6 @@ import random
 
 from repro.core.graph import TemporalGraph
 from repro.core.miner import MinerConfig, TGMiner
-from repro.core.pattern import TemporalPattern
 
 from conftest import build_graph, random_temporal_graph
 

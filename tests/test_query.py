@@ -157,7 +157,9 @@ class TestEvaluation:
         assert pr.recall == 1.0
 
     def test_as_row_formatting(self):
-        pr = PrecisionRecall("x", identified=2, correct=1, discovered=1, total_instances=2)
+        pr = PrecisionRecall(
+            "x", identified=2, correct=1, discovered=1, total_instances=2
+        )
         row = pr.as_row()
         assert "50.0%" in row
 

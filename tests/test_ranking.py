@@ -89,4 +89,6 @@ class TestRanking:
             self.mined(("proc:x", "file:common"), ((0, 1),)),
             self.mined(("proc:y", "file:common"), ((0, 1),)),
         ]
-        assert rank_patterns(mined, model) == rank_patterns(list(reversed(mined)), model)
+        assert rank_patterns(mined, model) == rank_patterns(
+            list(reversed(mined)), model
+        )

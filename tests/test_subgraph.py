@@ -102,7 +102,11 @@ class TestAppendixJPruningToggles:
             {"use_label_test": False},
             {"use_local_info": False},
             {"use_prefix_pruning": False},
-            {"use_label_test": False, "use_local_info": False, "use_prefix_pruning": False},
+            {
+                "use_label_test": False,
+                "use_local_info": False,
+                "use_prefix_pruning": False,
+            },
         ],
     )
     def test_results_independent_of_pruning(self, kwargs):

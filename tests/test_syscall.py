@@ -106,7 +106,9 @@ class TestBehaviorTemplates:
             (s.src.name, s.dst.name) for s in template.steps if s.core
         ]
         cursor = 0
-        event_pairs = [(e.src_key.split("#")[0], e.dst_key.split("#")[0]) for e in events]
+        event_pairs = [
+            (e.src_key.split("#")[0], e.dst_key.split("#")[0]) for e in events
+        ]
         for pair in core_pairs:
             while cursor < len(event_pairs) and event_pairs[cursor] != pair:
                 cursor += 1
@@ -135,7 +137,11 @@ class TestBehaviorTemplates:
         scp = events_to_graph(get_behavior("scp-download").instantiate(rng, "s", True))
         ssh = events_to_graph(get_behavior("ssh-login").instantiate(rng, "t", True))
         scp_labels = {l for l in scp.label_set() if not l.startswith("file:/home/u")}
-        ssh_core = {"file:/etc/ssh/ssh_config", "file:/home/.ssh/known_hosts", "proc:ssh"}
+        ssh_core = {
+            "file:/etc/ssh/ssh_config",
+            "file:/home/.ssh/known_hosts",
+            "proc:ssh",
+        }
         assert ssh_core <= scp_labels
         assert ssh_core <= ssh.label_set()
 
