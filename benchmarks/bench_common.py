@@ -51,6 +51,16 @@ FAN_MAX_EDGES = int(os.environ.get("BENCH_FAN_MAX_EDGES", 5))
 #: only enforced when the host actually has that many CPUs (wall-clock
 #: speedup on an oversubscribed box would measure the scheduler, not us).
 MIN_PARALLEL_SPEEDUP = float(os.environ.get("BENCH_MIN_PARALLEL_SPEEDUP", 1.5))
+#: Events per ingest batch in the serving ablation's stream replay.
+SERVING_BATCH = int(os.environ.get("BENCH_SERVING_BATCH", 200))
+#: Measurement repeats for the serving ablation; the best (minimum) time
+#: per mode is reported, denoising the millisecond-scale smoke runs the
+#: perf-trend gate compares across CI machines.
+SERVING_REPEATS = int(os.environ.get("BENCH_SERVING_REPEATS", 5))
+#: Speedup incremental ingestion must show over rebuild-per-batch in the
+#: serving ablation (0 disables the floor; the smoke run keeps it on —
+#: the advantage is architectural, not core-count-dependent).
+MIN_STREAMING_SPEEDUP = float(os.environ.get("BENCH_MIN_STREAMING_SPEEDUP", 1.2))
 #: Where BENCH_*.json result files land (CI uploads them as artifacts).
 JSON_DIR = Path(os.environ.get("BENCH_JSON_DIR", "."))
 

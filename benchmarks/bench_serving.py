@@ -1,0 +1,180 @@
+"""Serving ablation: incremental streaming ingestion vs rebuild-per-batch.
+
+A naive detection server re-freezes the window graph and re-runs every
+query from scratch on each arriving batch — paying the index-build cost
+the paper charges to ``PruneGI`` once *per batch*, plus a full-window
+re-search per query.  The streaming subsystem instead maintains the
+one-edge index and label signature online and evaluates only the batch
+delta (``min_last_index`` pins matches into the delta, ``start_index``
+bounds the join to the span horizon).
+
+Both paths must produce span-identical accumulated detections — equal,
+in turn, to the one-shot batch ``QueryEngine`` over the frozen whole log
+— while the incremental path clears a configurable speedup floor.
+Results land in ``BENCH_serving.json`` for the CI perf-trend gate
+(``benchmarks/check_regression.py``).
+"""
+
+import time
+
+from repro.experiments.harness import formulate_behavior_queries
+from repro.query.engine import QueryEngine
+from repro.serving.service import DetectionService
+from repro.syscall.collector import iter_event_batches
+from repro.syscall.events import events_to_graph
+
+from benchmarks.bench_common import (
+    MIN_STREAMING_SPEEDUP,
+    MINING_SECONDS,
+    SERVING_BATCH,
+    SERVING_REPEATS,
+    emit,
+    once,
+    write_json,
+)
+
+#: Behaviors whose mined queries form the registered slate.
+SLATE_SIZE = 3
+#: Mining depth/width for query formulation (kept shallow: the ablation
+#: measures serving, not mining).
+QUERY_EDGES = 3
+QUERIES_PER_BEHAVIOR = 2
+
+
+def _formulate_slate(train, model):
+    behaviors = tuple(train.config.behaviors)[:SLATE_SIZE]
+    queries = []
+    for behavior in behaviors:
+        queries.extend(
+            formulate_behavior_queries(
+                train,
+                behavior,
+                max_edges=QUERY_EDGES,
+                top_k=QUERIES_PER_BEHAVIOR,
+                max_seconds=MINING_SECONDS,
+                model=model,
+            )
+        )
+    return queries
+
+
+def _streaming_run(queries, batches):
+    service = DetectionService()
+    for query in queries:
+        service.register(query)
+    spans = {query.name: set() for query in queries}
+    for batch in batches:
+        for detection in service.ingest(batch):
+            spans[detection.query].add(detection.span)
+    return spans, service
+
+
+def _rebuild_run(queries, batches, window_span):
+    """The naive baseline: refreeze the window and re-search every batch."""
+    spans = {query.name: set() for query in queries}
+    window_events = []
+    seconds = 0.0
+    for batch in batches:
+        started = time.perf_counter()
+        window_events.extend(batch)
+        horizon = batch[0].time - window_span
+        window_events = [e for e in window_events if e.time >= horizon]
+        engine = QueryEngine(events_to_graph(window_events, name="window"))
+        for query in queries:
+            for span in engine.search_temporal(query.pattern, query.max_span):
+                spans[query.name].add(span)
+        seconds += time.perf_counter() - started
+    return spans, seconds
+
+
+def test_ablation_streaming_vs_rebuild(benchmark, train, test_data, model):
+    queries = _formulate_slate(train, model)
+    assert queries, "query formulation mined nothing; raise BENCH knobs"
+    events = test_data.events
+    batches = list(iter_event_batches(events, SERVING_BATCH))
+    window_span = max(query.max_span for query in queries)
+
+    def run():
+        # best-of-N per mode: minimum wall time is the standard denoiser
+        # for millisecond-scale runs (the perf-trend gate compares the
+        # resulting ratio across CI machines); span sets must agree on
+        # every repeat, not just the fastest
+        streaming_spans, service = _streaming_run(queries, batches)
+        for _repeat in range(SERVING_REPEATS - 1):
+            spans, candidate = _streaming_run(queries, batches)
+            assert spans == streaming_spans, "streaming run is nondeterministic"
+            if candidate.stats.total_seconds < service.stats.total_seconds:
+                service = candidate
+        rebuild_spans, rebuild_seconds = _rebuild_run(queries, batches, window_span)
+        for _repeat in range(SERVING_REPEATS - 1):
+            spans, seconds = _rebuild_run(queries, batches, window_span)
+            assert spans == rebuild_spans, "rebuild run is nondeterministic"
+            rebuild_seconds = min(rebuild_seconds, seconds)
+        engine = QueryEngine(test_data.graph)
+        reference = {
+            query.name: set(engine.search_temporal(query.pattern, query.max_span))
+            for query in queries
+        }
+        return streaming_spans, service, rebuild_spans, rebuild_seconds, reference
+
+    streaming_spans, service, rebuild_spans, rebuild_seconds, reference = once(
+        benchmark, run
+    )
+
+    stats = service.stats
+    incremental_seconds = stats.total_seconds
+    speedup = rebuild_seconds / max(incremental_seconds, 1e-9)
+    identical = streaming_spans == reference and rebuild_spans == reference
+    p50 = stats.latency_percentile(0.5)
+    p95 = stats.latency_percentile(0.95)
+
+    emit("\n=== Ablation: streaming-incremental vs rebuild-per-batch serving ===")
+    emit(
+        f"{len(queries)} queries over {len(events)} events in "
+        f"{len(batches)} batches of {SERVING_BATCH} (window span {window_span})"
+    )
+    emit(f"{'mode':24s} {'seconds':>9s} {'events/s':>10s}")
+    emit(
+        f"{'incremental (delta)':24s} {incremental_seconds:9.3f} "
+        f"{stats.events_per_second:10,.0f}"
+    )
+    rebuild_rate = len(events) / max(rebuild_seconds, 1e-9)
+    emit(f"{'rebuild-per-batch':24s} {rebuild_seconds:9.3f} {rebuild_rate:10,.0f}")
+    emit(
+        f"speedup {speedup:.2f}x; per-batch latency p50 {p50 * 1000:.2f}ms "
+        f"p95 {p95 * 1000:.2f}ms; prefilter answered "
+        f"{stats.queries_prefiltered} of "
+        f"{stats.queries_prefiltered + stats.queries_evaluated} "
+        "query-batch evaluations"
+    )
+
+    write_json(
+        "BENCH_serving.json",
+        {
+            "events": len(events),
+            "batches": len(batches),
+            "batch_size": SERVING_BATCH,
+            "queries": len(queries),
+            "window_span": window_span,
+            "incremental_seconds": incremental_seconds,
+            "rebuild_seconds": rebuild_seconds,
+            "speedup": speedup,
+            "events_per_second": stats.events_per_second,
+            "latency_p50_ms": p50 * 1000,
+            "latency_p95_ms": p95 * 1000,
+            "queries_prefiltered": stats.queries_prefiltered,
+            "queries_evaluated": stats.queries_evaluated,
+            "evicted": service.graph.stats.evicted,
+            "detections": stats.detections,
+            "min_speedup_required": MIN_STREAMING_SPEEDUP,
+            "identical": identical,
+        },
+    )
+    # soundness first: all three span sets must agree exactly
+    assert streaming_spans == reference, "streaming detections diverge from batch"
+    assert rebuild_spans == reference, "rebuild baseline diverges from batch"
+    if MIN_STREAMING_SPEEDUP > 0:
+        assert speedup >= MIN_STREAMING_SPEEDUP, (
+            f"incremental ingestion regressed: {speedup:.2f}x < "
+            f"{MIN_STREAMING_SPEEDUP}x over rebuild-per-batch"
+        )

@@ -1,10 +1,13 @@
-"""Command-line interface: generate data, mine queries, search logs.
+"""Command-line interface: generate data, mine queries, search logs, serve.
 
 Usage (after install)::
 
     python -m repro generate --out data/ --instances 10 --background 30
-    python -m repro mine --train data/ --behavior sshd-login --max-edges 6
+    python -m repro mine --train data/ --behavior sshd-login --max-edges 6 \\
+        --save-queries queries.jsonl
     python -m repro experiment --train data/ -j 4
+    python -m repro detect --queries queries.jsonl --instances 24 \\
+        --batch-size 256
     python -m repro behaviors
 
 The CLI wraps the same pipeline the benchmarks use: datasets are stored
@@ -14,7 +17,9 @@ graph-index candidate prefilter (identical results, different speed);
 ``mine --workers/-j N`` shards the seed search across N processes via
 :class:`~repro.core.parallel.ParallelMiner` (identical results again),
 and ``experiment`` mines every behavior of a corpus with behavior-level
-fan-out.
+fan-out.  ``detect`` replays a recorded (or synthesized) syscall log as a
+stream into the :class:`~repro.serving.service.DetectionService` and
+reports per-batch latency and sustained events/sec throughput.
 """
 
 from __future__ import annotations
@@ -91,6 +96,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(mined patterns are byte-identical to the serial run for any "
         "N, unless a --max-seconds cap cut either search short)",
     )
+    mine.add_argument(
+        "--save-queries",
+        default=None,
+        metavar="PATH",
+        help="also save the top-k ranked patterns as a behavior-query "
+        "jsonl file consumable by `detect --queries`",
+    )
 
     exp = sub.add_parser(
         "experiment",
@@ -115,6 +127,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="mine up to N behaviors concurrently (0 = one per CPU)",
     )
     exp.add_argument("--json", dest="json_out", default=None, help="write results JSON")
+
+    det = sub.add_parser(
+        "detect",
+        aliases=["serve"],
+        help="replay a syscall log as a stream and detect behavior instances",
+    )
+    det.add_argument(
+        "--queries",
+        required=True,
+        help="behavior-query jsonl from `mine --save-queries`",
+    )
+    source = det.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--log", help="event-log jsonl to replay (datasets.io.save_events_jsonl)"
+    )
+    source.add_argument(
+        "--instances",
+        type=int,
+        help="synthesize a busy-host test log with N behavior instances",
+    )
+    det.add_argument("--seed", type=int, default=11, help="synthesized-log seed")
+    det.add_argument(
+        "--save-log", default=None, help="also write the replayed log as jsonl"
+    )
+    det.add_argument(
+        "--batch-size", type=int, default=256, help="events per ingest batch"
+    )
+    det.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="eviction window on the event-time axis "
+        "(default: the widest registered query span)",
+    )
+    det.add_argument(
+        "--index",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="use the registry's shared signature prefilter "
+        "(--no-index disables; detections are identical either way)",
+    )
+    det.add_argument("--json", dest="json_out", default=None, help="write summary JSON")
 
     sub.add_parser("behaviors", help="list the 12 behaviors and size classes")
     return parser
@@ -177,12 +231,30 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         )
     corpus = positives + background
     model = InterestModel.fit(corpus)
-    for rank, mined in enumerate(rank_patterns(result.best, model)[: args.top_k], 1):
+    ranked = rank_patterns(result.best, model)[: args.top_k]
+    for rank, mined in enumerate(ranked, 1):
         print(
             f"\n#{rank} (score {mined.score:.3f}, pos {mined.pos_freq:.2f}, "
             f"neg {mined.neg_freq:.2f})"
         )
         print(mined.pattern.describe())
+    if args.save_queries:
+        from repro.experiments.harness import span_cap_for_graphs
+        from repro.serving.registry import BehaviorQuery, save_queries_jsonl
+
+        cap = span_cap_for_graphs(positives)
+        count = save_queries_jsonl(
+            [
+                BehaviorQuery(
+                    name=f"{args.behavior}#{rank}",
+                    pattern=mined.pattern,
+                    max_span=cap,
+                )
+                for rank, mined in enumerate(ranked, 1)
+            ],
+            args.save_queries,
+        )
+        print(f"\nwrote {count} behavior queries to {args.save_queries}")
     return 0
 
 
@@ -257,6 +329,93 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from repro.core.errors import ReproError
+    from repro.datasets.io import load_events_jsonl, save_events_jsonl
+    from repro.serving.registry import load_queries_jsonl
+    from repro.serving.service import DetectionService
+    from repro.syscall.collector import build_test_data
+
+    queries_path = Path(args.queries)
+    if not queries_path.exists():
+        print(f"error: query file missing: {queries_path}", file=sys.stderr)
+        return 2
+    queries = load_queries_jsonl(queries_path)
+    if not queries:
+        print(f"error: no queries in {queries_path}", file=sys.stderr)
+        return 2
+    if args.log:
+        log_path = Path(args.log)
+        if not log_path.exists():
+            print(f"error: event log missing: {log_path}", file=sys.stderr)
+            return 2
+        events = load_events_jsonl(log_path)
+    else:
+        if args.instances < 1:
+            print("error: --instances must be >= 1", file=sys.stderr)
+            return 2
+        events = build_test_data(instances=args.instances, seed=args.seed).events
+    if args.save_log:
+        save_events_jsonl(events, args.save_log)
+        print(f"wrote {len(events)} events to {args.save_log}")
+
+    service = DetectionService(window_span=args.window, use_prefilter=args.index)
+    try:
+        for query in queries:
+            service.register(query)
+        per_query: dict[str, int] = {q.name: 0 for q in queries}
+        for _batch, detections in service.replay(events, args.batch_size):
+            for detection in detections:
+                per_query[detection.query] += 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    stats = service.stats
+    p50 = stats.latency_percentile(0.5)
+    p95 = stats.latency_percentile(0.95)
+    late = service.graph.stats.late_dropped
+    print(
+        f"replayed {stats.events} events in {stats.batches} batches "
+        f"({args.batch_size}/batch), window span "
+        f"{service.window_span}, {len(queries)} registered queries"
+        + (f"; {late} events arrived too late and were DROPPED" if late else "")
+    )
+    print(
+        f"throughput {stats.events_per_second:,.0f} events/s; per-batch "
+        f"latency p50 {p50 * 1000:.2f}ms p95 {p95 * 1000:.2f}ms "
+        f"max {max(stats.batch_seconds, default=0.0) * 1000:.2f}ms"
+    )
+    print(
+        f"prefilter answered {stats.queries_prefiltered} of "
+        f"{stats.queries_prefiltered + stats.queries_evaluated} query-batch "
+        "evaluations by signature alone"
+    )
+    print(f"\n{stats.detections} detections:")
+    for name, count in per_query.items():
+        print(f"  {name:30s} {count:6d}")
+    if args.json_out:
+        payload = {
+            "events": stats.events,
+            "batches": stats.batches,
+            "batch_size": args.batch_size,
+            "window_span": service.window_span,
+            "queries": len(queries),
+            "detections": stats.detections,
+            "per_query": per_query,
+            "events_per_second": stats.events_per_second,
+            "latency_p50_ms": p50 * 1000,
+            "latency_p95_ms": p95 * 1000,
+            "queries_prefiltered": stats.queries_prefiltered,
+            "queries_evaluated": stats.queries_evaluated,
+            "evicted": service.graph.stats.evicted,
+            "late_dropped": late,
+        }
+        Path(args.json_out).write_text(json.dumps(payload, indent=2))
+        print(f"wrote {args.json_out}")
+    return 0
+
+
 def _cmd_behaviors(_args: argparse.Namespace) -> int:
     for cls, names in SIZE_CLASSES.items():
         print(f"{cls}:")
@@ -272,6 +431,8 @@ def main(argv: list[str] | None = None) -> int:
         "generate": _cmd_generate,
         "mine": _cmd_mine,
         "experiment": _cmd_experiment,
+        "detect": _cmd_detect,
+        "serve": _cmd_detect,
         "behaviors": _cmd_behaviors,
     }
     return handlers[args.command](args)

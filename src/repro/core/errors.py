@@ -36,5 +36,11 @@ class QueryError(ReproError):
     """Raised for malformed behavior queries or query-engine misuse."""
 
 
+class ServingError(ReproError):
+    """Raised by the streaming detection service for invalid ingestion
+    (timestamp collisions inside the live window) or misconfiguration
+    (an eviction window shorter than a registered query's span cap)."""
+
+
 class DatasetError(ReproError):
     """Raised by dataset builders, loaders, and the syscall simulator."""

@@ -39,13 +39,15 @@ from __future__ import annotations
 from bisect import bisect_right
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Protocol, Sequence, runtime_checkable
 
 from repro.core.brute import Match
-from repro.core.graph import TemporalGraph
+from repro.core.graph import TemporalEdge, TemporalGraph
 from repro.core.pattern import TemporalPattern
 
 __all__ = [
+    "DEFAULT_MATCH_LIMIT",
+    "EdgeIndexedSource",
     "find_matches",
     "GraphIndexTester",
     "match_span",
@@ -58,20 +60,58 @@ __all__ = [
 ]
 
 
+#: Safety valve on match enumeration, shared by the batch engine and the
+#: streaming service so their span sets stay identical up to the same
+#: cutoff (a pathological query with more matches than this is truncated
+#: the same way on both paths).
+DEFAULT_MATCH_LIMIT = 200_000
+
+
+@runtime_checkable
+class EdgeIndexedSource(Protocol):
+    """What :func:`find_matches` needs from a data graph.
+
+    A frozen :class:`TemporalGraph` satisfies this, and so does the live
+    :class:`~repro.serving.streaming.StreamingGraph`, whose edge ids are
+    global ingest positions (``edges[id]`` stays valid for any live id
+    even after older edges were evicted).  ``edges_between`` lists must be
+    sorted ascending and id order must equal time order — the temporal
+    join relies on it for the frontier bisects and the span-cap break.
+    """
+
+    @property
+    def num_edges(self) -> int: ...
+
+    @property
+    def edges(self) -> Sequence[TemporalEdge]: ...
+
+    def edges_between(self, src_label: str, dst_label: str) -> Sequence[int]: ...
+
+
 def find_matches(
     pattern: TemporalPattern,
-    graph: TemporalGraph,
+    graph: "TemporalGraph | EdgeIndexedSource",
     max_span: int | None = None,
     limit: int | None = None,
+    start_index: int = 0,
+    min_last_index: int = 0,
 ) -> Iterator[Match]:
     """Yield matches of ``pattern`` in ``graph`` via index joins.
+
+    This is the one matching core shared by the batch
+    :class:`~repro.query.engine.QueryEngine` and the streaming
+    :class:`~repro.serving.streaming.StreamingGraph` — any *edge-indexed
+    source* works: an object exposing ``num_edges``, an ``edges`` sequence
+    indexable by edge id, and ``edges_between(src_label, dst_label)``
+    returning time-sorted edge ids.
 
     Parameters
     ----------
     pattern:
         The temporal pattern (behavior query skeleton) to search for.
     graph:
-        A frozen temporal graph; its one-edge label-pair index is used.
+        A frozen temporal graph (frozen on demand) or any other
+        edge-indexed source such as a live :class:`StreamingGraph`.
     max_span:
         When given, a match's time span (last matched timestamp minus
         first matched timestamp) may not exceed this value.  Behavior
@@ -79,8 +119,18 @@ def find_matches(
         engine passes the longest observed behavior duration here.
     limit:
         Stop after this many matches.
+    start_index:
+        Only consider data edges with id ``>= start_index``.  Streaming
+        sources pass their window start (evicted ids below it must never
+        be touched) tightened to the earliest edge that could still start
+        an in-cap match ending in the new delta.
+    min_last_index:
+        Require the match's *last* edge to have id ``>= min_last_index``.
+        Incremental evaluation passes the first newly-ingested id: every
+        match whose last edge predates the delta was already reported by
+        an earlier batch, so only genuinely new matches are enumerated.
     """
-    if not graph.frozen:
+    if not getattr(graph, "frozen", True):
         graph.freeze()
     m = pattern.num_edges
     if m > graph.num_edges:
@@ -94,6 +144,8 @@ def find_matches(
         if not lst:
             return
         candidate_lists.append(lst)
+    last_pos = m - 1
+    last_floor = min_last_index - 1
 
     assignment: dict[int, int] = {}
     used: set[int] = set()
@@ -109,6 +161,8 @@ def find_matches(
             return
         pu, pv = p_edges[edge_pos]
         cands = candidate_lists[edge_pos]
+        if edge_pos == last_pos and frontier < last_floor:
+            frontier = last_floor
         lo = bisect_right(cands, frontier)
         for pos in range(lo, len(cands)):
             idx = cands[pos]
@@ -146,10 +200,12 @@ def find_matches(
             if limit is not None and emitted >= limit:
                 return
 
-    yield from join(0, -1, 0)
+    yield from join(0, start_index - 1, 0)
 
 
-def match_span(match: Match, graph: TemporalGraph) -> tuple[int, int]:
+def match_span(
+    match: Match, graph: "TemporalGraph | EdgeIndexedSource"
+) -> tuple[int, int]:
     """Return ``(start_time, end_time)`` of a match in ``graph``."""
     first = graph.edges[match.edge_indexes[0]].time
     last = graph.edges[match.edge_indexes[-1]].time

@@ -1,4 +1,4 @@
-"""Temporal-graph (de)serialization.
+"""Temporal-graph and event-log (de)serialization.
 
 Graphs are stored one-per-line as JSON objects (``jsonl``) with the
 schema::
@@ -7,18 +7,51 @@ schema::
 
 The format round-trips exactly: labels by node id, edges with their
 original timestamps.
+
+Raw syscall event logs (the serving layer's replay feed) use the same
+one-object-per-line convention::
+
+    {"time": ..., "syscall": ..., "src_key": ..., "src_label": ...,
+     "dst_key": ..., "dst_label": ...}
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.core.errors import DatasetError
 from repro.core.graph import TemporalGraph
+from repro.syscall.events import SyscallEvent
 
-__all__ = ["save_graphs_jsonl", "load_graphs_jsonl", "graph_to_dict", "graph_from_dict"]
+__all__ = [
+    "save_graphs_jsonl",
+    "load_graphs_jsonl",
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_events_jsonl",
+    "load_events_jsonl",
+    "iter_jsonl_objects",
+]
+
+
+def iter_jsonl_objects(path: str | Path):
+    """Yield ``(line_no, payload)`` per non-blank line of a jsonl file.
+
+    The one framing loop shared by every jsonl loader in the repo
+    (graphs, event logs, behavior queries), so blank-line handling and
+    ``path:line`` error context stay uniform.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield line_no, json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise DatasetError(f"{path}:{line_no}: invalid JSON: {exc}") from exc
 
 
 def graph_to_dict(graph: TemporalGraph) -> dict:
@@ -55,15 +88,52 @@ def save_graphs_jsonl(graphs: Iterable[TemporalGraph], path: str | Path) -> int:
 
 def load_graphs_jsonl(path: str | Path) -> list[TemporalGraph]:
     """Read graphs from a jsonl file."""
-    graphs: list[TemporalGraph] = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for line_no, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                payload = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise DatasetError(f"{path}:{line_no}: invalid JSON: {exc}") from exc
-            graphs.append(graph_from_dict(payload))
-    return graphs
+    return [graph_from_dict(payload) for _line, payload in iter_jsonl_objects(path)]
+
+
+def save_events_jsonl(events: Sequence[SyscallEvent], path: str | Path) -> int:
+    """Write a raw syscall event log to a jsonl file; returns the count.
+
+    Event logs are the replay feed of the streaming detection service
+    (``python -m repro detect --log ...``).
+    """
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(
+                json.dumps(
+                    {
+                        "time": event.time,
+                        "syscall": event.syscall,
+                        "src_key": event.src_key,
+                        "src_label": event.src_label,
+                        "dst_key": event.dst_key,
+                        "dst_label": event.dst_label,
+                    }
+                )
+                + "\n"
+            )
+            count += 1
+    return count
+
+
+def load_events_jsonl(path: str | Path) -> list[SyscallEvent]:
+    """Read a raw syscall event log from a jsonl file."""
+    events: list[SyscallEvent] = []
+    for line_no, payload in iter_jsonl_objects(path):
+        try:
+            events.append(
+                SyscallEvent(
+                    time=int(payload["time"]),
+                    syscall=str(payload["syscall"]),
+                    src_key=str(payload["src_key"]),
+                    src_label=str(payload["src_label"]),
+                    dst_key=str(payload["dst_key"]),
+                    dst_label=str(payload["dst_label"]),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DatasetError(
+                f"{path}:{line_no}: malformed event payload: {exc}"
+            ) from exc
+    return events

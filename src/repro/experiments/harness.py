@@ -26,11 +26,13 @@ from repro.syscall.collector import TestData, TrainingData
 
 __all__ = [
     "span_cap",
+    "span_cap_for_graphs",
     "mine_behavior",
     "mine_all_behaviors",
     "formulate_tgminer_queries",
     "formulate_ntemp_queries",
     "formulate_nodeset_query",
+    "formulate_behavior_queries",
     "BehaviorAccuracy",
     "accuracy_for_behavior",
 ]
@@ -48,7 +50,21 @@ def span_cap(
     slack: float = DEFAULT_SPAN_SLACK,
 ) -> int:
     """Match-window cap: longest observed lifetime with interleave slack."""
-    return int(train.max_lifetime(behavior) * slack)
+    return span_cap_for_graphs(train.behavior(behavior), slack)
+
+
+def span_cap_for_graphs(
+    graphs: Sequence[TemporalGraph], slack: float = DEFAULT_SPAN_SLACK
+) -> int:
+    """:func:`span_cap` for a bare positive-graph list (the CLI path).
+
+    The single lifetime-with-slack implementation; :func:`span_cap`
+    delegates here.
+    """
+    spans = [
+        graph.span()[1] - graph.span()[0] for graph in graphs if graph.num_edges
+    ]
+    return int(max(spans, default=0) * slack)
 
 
 def interest_model(train: TrainingData) -> InterestModel:
@@ -207,6 +223,42 @@ def formulate_nodeset_query(
 ) -> NodeSetQuery:
     """NodeSet query formulation (top-k discriminative labels)."""
     return mine_nodeset_query(train.behavior(behavior), train.background, k=k)
+
+
+def formulate_behavior_queries(
+    train: TrainingData,
+    behavior: str,
+    max_edges: int = 6,
+    top_k: int = 5,
+    min_pos_support: float = 0.7,
+    max_seconds: float | None = None,
+    model: InterestModel | None = None,
+    slack: float = DEFAULT_SPAN_SLACK,
+) -> list["BehaviorQuery"]:
+    """Mine one behavior's top-k patterns as registrable serving queries.
+
+    This is the bridge from the paper's offline formulation pipeline to
+    the streaming side: each ranked pattern is wrapped with the
+    behavior's span cap into a
+    :class:`~repro.serving.registry.BehaviorQuery` ready for
+    ``DetectionService.register``.
+    """
+    from repro.serving.registry import BehaviorQuery
+
+    patterns = formulate_tgminer_queries(
+        train,
+        behavior,
+        max_edges=max_edges,
+        top_k=top_k,
+        min_pos_support=min_pos_support,
+        max_seconds=max_seconds,
+        model=model,
+    )
+    cap = span_cap(train, behavior, slack)
+    return [
+        BehaviorQuery(name=f"{behavior}#{rank}", pattern=pattern, max_span=cap)
+        for rank, pattern in enumerate(patterns, start=1)
+    ]
 
 
 @dataclass

@@ -37,9 +37,14 @@ from repro.baselines.gspan import (
     enumerate_nontemporal_matches,
 )
 from repro.baselines.nodeset import NodeSetQuery
-from repro.core.errors import QueryError
+from repro.core.errors import GraphError, QueryError
 from repro.core.graph import TemporalGraph
-from repro.core.graph_index import CandidateFilter, find_matches, match_span
+from repro.core.graph_index import (
+    DEFAULT_MATCH_LIMIT,
+    CandidateFilter,
+    find_matches,
+    match_span,
+)
 from repro.core.pattern import TemporalPattern
 
 __all__ = ["QueryEngine"]
@@ -58,7 +63,15 @@ class QueryEngine:
 
     def __init__(self, graph: TemporalGraph, use_index: bool = True) -> None:
         if not graph.frozen:
-            graph.freeze()
+            try:
+                graph.freeze()
+            except GraphError as exc:
+                raise QueryError(
+                    f"cannot build a query engine over graph "
+                    f"{graph.name or '<unnamed>'!s}: freezing failed ({exc}); "
+                    "sequentialize concurrent edges first (see "
+                    "repro.core.concurrent) or pass an already-frozen graph"
+                ) from exc
         self.graph = graph
         self.filter = CandidateFilter() if use_index else None
 
@@ -69,7 +82,7 @@ class QueryEngine:
         self,
         pattern: TemporalPattern,
         max_span: int,
-        match_limit: int = 200_000,
+        match_limit: int = DEFAULT_MATCH_LIMIT,
     ) -> list[Span]:
         """Distinct spans of temporal matches within the span cap."""
         if max_span < 0:

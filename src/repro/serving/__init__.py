@@ -1,0 +1,43 @@
+"""Streaming behavior-detection serving layer.
+
+The paper's end product — discriminative behavior queries — is meant to
+run *continuously* against live monitoring data.  This package is the
+serving half of that deployment:
+
+* :mod:`repro.serving.streaming` — :class:`StreamingGraph`, a temporal
+  graph that ingests syscall events incrementally under a sliding
+  time-window eviction policy, maintaining the one-edge label-pair index
+  and the label signature online;
+* :mod:`repro.serving.registry` — :class:`QueryRegistry`, many registered
+  behavior queries grouped by shared signature prefixes so one prefilter
+  pass over the window signature answers every impossible query at once;
+* :mod:`repro.serving.service` — :class:`DetectionService`, the facade
+  tying both together: ``ingest(events) -> list[Detection]``, evaluating
+  surviving queries incrementally against only the newly-ingested delta.
+
+Batch and streaming share one matching core
+(:func:`repro.core.graph_index.find_matches`): the batch
+:class:`~repro.query.engine.QueryEngine` is "ingest everything, then
+flush" over the same join.
+"""
+
+from repro.serving.registry import (
+    BehaviorQuery,
+    QueryRegistry,
+    load_queries_jsonl,
+    save_queries_jsonl,
+)
+from repro.serving.service import Detection, DetectionService
+from repro.serving.streaming import IngestDelta, StreamingGraph, StreamStats
+
+__all__ = [
+    "BehaviorQuery",
+    "Detection",
+    "DetectionService",
+    "IngestDelta",
+    "QueryRegistry",
+    "StreamingGraph",
+    "StreamStats",
+    "load_queries_jsonl",
+    "save_queries_jsonl",
+]

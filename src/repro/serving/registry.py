@@ -1,0 +1,228 @@
+"""Multi-query registry with a shared signature-prefix prefilter.
+
+A monitoring deployment runs *many* behavior queries against the same
+event stream.  Checking each query's label signature against the live
+window one by one repeats work: queries formulated for the same behavior
+(or touching the same entity types) share most of their signature
+requirements.  :class:`QueryRegistry` therefore arranges all registered
+queries in a **requirement trie**: each query's signature is flattened
+into a canonically ordered list of requirements ("at least ``c`` live
+nodes labeled ``L``", "at least ``c`` live edges labeled ``A -> B``"),
+and queries sharing a requirement prefix share the trie path.  One walk
+of the trie against the window signature answers every impossible query
+at once — a failed requirement prunes the whole subtree below it, and
+each shared requirement is evaluated exactly once per pass.
+
+The prefilter is sound for the same reason the mining-side
+:class:`~repro.core.graph_index.CandidateFilter` is: signature
+containment is a necessary condition for any injective label-preserving
+match, so pruned queries provably have no match in the window and the
+surviving set yields detections identical to the unfiltered evaluation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.errors import DatasetError, PatternError, ServingError
+from repro.core.graph_index import Signature, pattern_signature
+from repro.core.pattern import TemporalPattern
+
+__all__ = [
+    "BehaviorQuery",
+    "QueryRegistry",
+    "RegistryStats",
+    "save_queries_jsonl",
+    "load_queries_jsonl",
+]
+
+#: One trie-edge requirement: ("n", label, count) or ("e", (src, dst), count).
+_Requirement = tuple[str, object, int]
+
+
+@dataclass(frozen=True)
+class BehaviorQuery:
+    """A registered behavior query: a temporal pattern plus its span cap.
+
+    ``max_span`` is the behavior's longest observed lifetime (with
+    interleave slack) — the window a match's time span may not exceed,
+    exactly as in the batch engine's ``search_temporal``.
+    """
+
+    name: str
+    pattern: TemporalPattern
+    max_span: int
+
+    def __post_init__(self) -> None:
+        if self.max_span < 0:
+            raise ServingError(f"query {self.name!r}: max_span must be >= 0")
+
+    def describe(self) -> str:
+        """Human-readable rendering used by the CLI."""
+        return f"{self.name} (span <= {self.max_span}): {self.pattern!r}"
+
+
+def _requirements(signature: Signature) -> tuple[_Requirement, ...]:
+    """Flatten a signature into the canonical requirement order.
+
+    The order is fixed across all queries (node labels sorted, then edge
+    label pairs sorted) so that queries with overlapping signatures
+    produce common prefixes and land on shared trie paths.
+    """
+    nodes = tuple(
+        ("n", label, count) for label, count in sorted(signature.node_labels.items())
+    )
+    edges = tuple(
+        ("e", pair, count) for pair, count in sorted(signature.edge_labels.items())
+    )
+    return nodes + edges
+
+
+def _satisfied(requirement: _Requirement, window: Signature) -> bool:
+    kind, key, count = requirement
+    if kind == "n":
+        return window.node_labels.get(key, 0) >= count
+    return window.edge_labels.get(key, 0) >= count
+
+
+class _TrieNode:
+    __slots__ = ("children", "query_ids", "subtree_queries")
+
+    def __init__(self) -> None:
+        self.children: dict[_Requirement, _TrieNode] = {}
+        self.query_ids: list[int] = []
+        #: queries at or below this node — what one failed requirement prunes
+        self.subtree_queries = 0
+
+
+@dataclass
+class RegistryStats:
+    """Counters for the shared-prefilter ablation."""
+
+    passes: int = 0
+    requirement_checks: int = 0
+    queries_pruned: int = 0
+    queries_passed: int = 0
+
+
+class QueryRegistry:
+    """Holds registered behavior queries and prefilters them in one pass."""
+
+    def __init__(self) -> None:
+        self.stats = RegistryStats()
+        self._queries: dict[int, BehaviorQuery] = {}
+        self._root = _TrieNode()
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, query: BehaviorQuery) -> int:
+        """Register a query; returns its id within this registry."""
+        query_id = self._next_id
+        self._next_id += 1
+        self._queries[query_id] = query
+        reqs = _requirements(pattern_signature(query.pattern))
+        node = self._root
+        node.subtree_queries += 1
+        for requirement in reqs:
+            node = node.children.setdefault(requirement, _TrieNode())
+            node.subtree_queries += 1
+        node.query_ids.append(query_id)
+        return query_id
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __iter__(self) -> Iterator[tuple[int, BehaviorQuery]]:
+        return iter(self._queries.items())
+
+    def get(self, query_id: int) -> BehaviorQuery:
+        """Look a registered query up by id."""
+        return self._queries[query_id]
+
+    @property
+    def max_span(self) -> int:
+        """Widest span cap over all registered queries (0 when empty)."""
+        if not self._queries:
+            return 0
+        return max(q.max_span for q in self._queries.values())
+
+    # ------------------------------------------------------------------
+    # the one-pass prefilter
+    # ------------------------------------------------------------------
+    def survivors(self, window: Signature) -> list[tuple[int, BehaviorQuery]]:
+        """Queries whose signature the window can cover, in one trie walk.
+
+        Every requirement shared by several queries is checked once; a
+        failed check prunes all queries below it without touching them.
+        """
+        self.stats.passes += 1
+        alive: list[int] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            alive.extend(node.query_ids)
+            for requirement, child in node.children.items():
+                self.stats.requirement_checks += 1
+                if _satisfied(requirement, window):
+                    stack.append(child)
+                else:
+                    self.stats.queries_pruned += child.subtree_queries
+        alive.sort()
+        self.stats.queries_passed += len(alive)
+        return [(query_id, self._queries[query_id]) for query_id in alive]
+
+
+# ----------------------------------------------------------------------
+# (de)serialization — behavior queries as jsonl
+# ----------------------------------------------------------------------
+def query_to_dict(query: BehaviorQuery) -> dict:
+    """Serialize one behavior query to a JSON-compatible dict."""
+    return {
+        "name": query.name,
+        "labels": list(query.pattern.labels),
+        "edges": [[u, v] for u, v in query.pattern.edges],
+        "max_span": query.max_span,
+    }
+
+
+def query_from_dict(payload: dict) -> BehaviorQuery:
+    """Deserialize one behavior query; validates the pattern."""
+    try:
+        return BehaviorQuery(
+            name=str(payload["name"]),
+            pattern=TemporalPattern(
+                tuple(str(label) for label in payload["labels"]),
+                tuple((int(u), int(v)) for u, v in payload["edges"]),
+            ),
+            max_span=int(payload["max_span"]),
+        )
+    except (KeyError, TypeError, ValueError, PatternError) as exc:
+        raise DatasetError(f"malformed query payload: {exc}") from exc
+
+
+def save_queries_jsonl(queries: list[BehaviorQuery], path: str | Path) -> int:
+    """Write behavior queries to a jsonl file; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for query in queries:
+            handle.write(json.dumps(query_to_dict(query)) + "\n")
+            count += 1
+    return count
+
+
+def load_queries_jsonl(path: str | Path) -> list[BehaviorQuery]:
+    """Read behavior queries from a jsonl file."""
+    from repro.datasets.io import iter_jsonl_objects
+
+    queries: list[BehaviorQuery] = []
+    for line_no, payload in iter_jsonl_objects(path):
+        try:
+            queries.append(query_from_dict(payload))
+        except DatasetError as exc:
+            raise DatasetError(f"{path}:{line_no}: {exc}") from exc
+    return queries

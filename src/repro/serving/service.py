@@ -1,0 +1,264 @@
+"""The streaming detection service facade.
+
+:class:`DetectionService` ties the live window
+(:class:`~repro.serving.streaming.StreamingGraph`) to the query side
+(:class:`~repro.serving.registry.QueryRegistry`): every
+:meth:`~DetectionService.ingest` call appends one event batch, runs the
+registry's one-pass signature prefilter against the window's online
+signature, and evaluates only the surviving queries — and only against
+the newly-ingested delta.  Incrementality comes from the shared matching
+core (:func:`repro.core.graph_index.find_matches`):
+
+* ``min_last_index`` pins every reported match's *last* edge into the
+  batch delta, so matches already reported by earlier batches are never
+  re-enumerated;
+* ``start_index`` starts the join at the earliest edge that could open
+  an in-cap match ending in the delta (``delta_min_time - max_span``),
+  so per-batch work scales with the query's span, not the window size.
+
+Detections are deduplicated by ``(query, span)``, matching the batch
+engine's span semantics: accumulating the detections of a replayed log
+yields exactly the span set ``QueryEngine.search_temporal`` reports on
+the frozen whole — the equivalence `tests/test_serving.py` asserts.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.core.errors import ServingError
+from repro.core.graph_index import DEFAULT_MATCH_LIMIT, find_matches, match_span
+from repro.core.pattern import TemporalPattern
+from repro.serving.registry import BehaviorQuery, QueryRegistry
+from repro.serving.streaming import StreamingGraph
+from repro.syscall.events import SyscallEvent
+
+__all__ = ["Detection", "DetectionService", "ServiceStats"]
+
+Span = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One identified behavior instance reported by the service."""
+
+    query_id: int
+    query: str
+    start: int
+    end: int
+    batch: int
+
+    @property
+    def span(self) -> Span:
+        """The identified time interval, the unit of deduplication."""
+        return (self.start, self.end)
+
+
+@dataclass
+class ServiceStats:
+    """Serving-side counters: throughput, latency, prefilter effect."""
+
+    batches: int = 0
+    events: int = 0
+    detections: int = 0
+    queries_evaluated: int = 0
+    queries_prefiltered: int = 0
+    matching_seconds: float = 0.0
+    batch_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock spent inside :meth:`DetectionService.ingest`."""
+        return sum(self.batch_seconds)
+
+    @property
+    def events_per_second(self) -> float:
+        """Sustained ingest throughput over all batches."""
+        total = self.total_seconds
+        return self.events / total if total > 0 else 0.0
+
+    def latency_percentile(self, quantile: float) -> float:
+        """Nearest-rank percentile of per-batch ingest latency, in seconds.
+
+        The single definition the CLI report and the serving benchmark
+        both read, so the gated ``latency_p95_ms`` and the operator-facing
+        number can never drift apart.
+        """
+        if not self.batch_seconds:
+            return 0.0
+        ordered = sorted(self.batch_seconds)
+        index = min(len(ordered) - 1, int(len(ordered) * quantile))
+        return ordered[index]
+
+
+class DetectionService:
+    """Continuous behavior detection over an event stream.
+
+    Parameters
+    ----------
+    window_span:
+        Sliding-window width.  ``None`` (default) sizes the window
+        automatically to the widest registered query span — the smallest
+        window that keeps streaming detections span-identical to the
+        batch engine.  An explicit window must cover every registered
+        query's ``max_span``.
+    use_prefilter:
+        Toggle the registry's shared signature prefilter (detections are
+        identical either way; only impossible-query passes get slower).
+    """
+
+    def __init__(
+        self,
+        window_span: int | None = None,
+        use_prefilter: bool = True,
+    ) -> None:
+        self.registry = QueryRegistry()
+        self.graph = StreamingGraph()
+        self.use_prefilter = use_prefilter
+        self.stats = ServiceStats()
+        self._explicit_window = window_span
+        self._seen: dict[int, set[Span]] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        query: BehaviorQuery | None = None,
+        *,
+        name: str | None = None,
+        pattern: TemporalPattern | None = None,
+        max_span: int | None = None,
+    ) -> int:
+        """Register a behavior query (object or ``name/pattern/max_span``).
+
+        Register all queries before the first :meth:`ingest` for strict
+        batch equivalence: widening the window mid-stream cannot bring
+        already-evicted edges back, so a late-registered wide query may
+        miss matches that straddle the registration point.
+        """
+        if query is None:
+            if name is None or pattern is None or max_span is None:
+                raise ServingError(
+                    "register() needs a BehaviorQuery or name+pattern+max_span"
+                )
+            query = BehaviorQuery(name=name, pattern=pattern, max_span=max_span)
+        if (
+            self._explicit_window is not None
+            and query.max_span > self._explicit_window
+        ):
+            raise ServingError(
+                f"query {query.name!r} has max_span {query.max_span} wider than "
+                f"the service window {self._explicit_window}; its matches would "
+                "straddle evictions — widen the window or shorten the query cap"
+            )
+        query_id = self.registry.register(query)
+        self._seen[query_id] = set()
+        return query_id
+
+    @property
+    def window_span(self) -> int | None:
+        """The effective eviction window (``None`` with nothing registered)."""
+        if self._explicit_window is not None:
+            return self._explicit_window
+        return self.registry.max_span if len(self.registry) else None
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, events: Sequence[SyscallEvent]) -> list[Detection]:
+        """Append one event batch and report newly identified instances."""
+        started = _time.perf_counter()
+        self.graph.window_span = self.window_span
+        delta = self.graph.ingest(events)
+        self.stats.events += delta.appended - delta.reinserted
+        batch_index = self.stats.batches
+        self.stats.batches += 1
+        if delta.empty:
+            self.stats.batch_seconds.append(_time.perf_counter() - started)
+            return []
+
+        if self.use_prefilter:
+            survivors = self.registry.survivors(self.graph.signature())
+        else:
+            survivors = list(self.registry)
+        self.stats.queries_prefiltered += len(self.registry) - len(survivors)
+        self.stats.queries_evaluated += len(survivors)
+
+        detections: list[Detection] = []
+        match_started = _time.perf_counter()
+        for query_id, query in survivors:
+            spans = self._new_spans(query, delta.start_index, delta.min_time)
+            seen = self._seen[query_id]
+            for span in spans:
+                if span not in seen:
+                    seen.add(span)
+                    detections.append(
+                        Detection(query_id, query.name, span[0], span[1], batch_index)
+                    )
+        self.stats.matching_seconds += _time.perf_counter() - match_started
+        self.stats.detections += len(detections)
+        if delta.evicted:
+            # the prune threshold (oldest live time) only moves on eviction
+            self._prune_seen()
+        self.stats.batch_seconds.append(_time.perf_counter() - started)
+        return detections
+
+    def replay(
+        self, events: Sequence[SyscallEvent], batch_size: int
+    ) -> Iterator[tuple[int, list[Detection]]]:
+        """Feed a recorded log through :meth:`ingest` batch by batch."""
+        from repro.syscall.collector import iter_event_batches
+
+        for index, batch in enumerate(iter_event_batches(events, batch_size)):
+            yield index, self.ingest(batch)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _new_spans(
+        self, query: BehaviorQuery, delta_start: int, delta_min_time: int
+    ) -> list[Span]:
+        """Distinct spans of matches whose last edge lies in the delta.
+
+        Any such match has its last edge at time ``>= delta_min_time``,
+        so its first edge cannot predate ``delta_min_time - max_span`` —
+        the join starts there instead of at the window edge.  Enumeration
+        shares the batch engine's per-search safety valve
+        (:data:`DEFAULT_MATCH_LIMIT`); the batch-equivalence contract
+        holds for queries whose match counts stay under it.
+        """
+        start_index = max(
+            self.graph.first_live_index,
+            self.graph.index_after_time(delta_min_time - query.max_span),
+        )
+        spans = {
+            match_span(match, self.graph)
+            for match in find_matches(
+                query.pattern,
+                self.graph,
+                max_span=query.max_span,
+                limit=DEFAULT_MATCH_LIMIT,
+                start_index=start_index,
+                min_last_index=delta_start,
+            )
+        }
+        return sorted(spans)
+
+    def _prune_seen(self) -> None:
+        """Forget reported spans that can no longer be rediscovered.
+
+        A span is only ever re-found (after tail reinsertion) while all
+        of its edges are live, so spans starting before the window's
+        oldest live time are safe to drop — this bounds dedup memory by
+        the window, not the stream length.
+        """
+        bounds = self.graph.window_bounds()
+        if bounds is None:
+            return
+        oldest = bounds[0]
+        for query_id, seen in self._seen.items():
+            if seen:
+                self._seen[query_id] = {s for s in seen if s[0] >= oldest}

@@ -27,6 +27,7 @@ from repro.syscall.collector import (
     TrainingData,
     build_test_data,
     build_training_data,
+    iter_event_batches,
 )
 from repro.syscall.events import SyscallEvent, events_to_graph, merge_streams
 from repro.syscall.simulator import ClosedEnvironment
@@ -50,4 +51,5 @@ __all__ = [
     "TestData",
     "build_test_data",
     "GroundTruthInstance",
+    "iter_event_batches",
 ]

@@ -33,6 +33,7 @@ __all__ = [
     "TestConfig",
     "TestData",
     "build_test_data",
+    "iter_event_batches",
 ]
 
 
@@ -155,15 +156,34 @@ class TestConfig:
 
 @dataclass
 class TestData:
-    """One long test graph plus its ground-truth instance intervals."""
+    """One long test graph plus its ground-truth instance intervals.
+
+    ``events`` retains the raw syscall log the graph was converted from,
+    so the same collection replays as a stream into the serving layer
+    (collector → StreamingGraph → QueryRegistry → detections).
+    """
 
     config: TestConfig
     graph: TemporalGraph
     instances: list[GroundTruthInstance] = field(default_factory=list)
+    events: list = field(default_factory=list)
 
     def instances_of(self, behavior: str) -> list[GroundTruthInstance]:
         """Ground-truth instances of one behavior."""
         return [gt for gt in self.instances if gt.behavior == behavior]
+
+
+def iter_event_batches(events, batch_size: int):
+    """Yield consecutive event batches of a recorded log (replay feed).
+
+    This is the collector-side producer for the streaming detection
+    service: ``DetectionService.replay`` and the ``detect`` CLI consume
+    one batch per ingest call.
+    """
+    if batch_size < 1:
+        raise DatasetError("batch_size must be >= 1")
+    for start in range(0, len(events), batch_size):
+        yield list(events[start : start + batch_size])
 
 
 def build_test_data(config: TestConfig | None = None, **overrides) -> TestData:
@@ -214,7 +234,9 @@ def build_test_data(config: TestConfig | None = None, **overrides) -> TestData:
             )
             time += 1
     graph = events_to_graph(all_events, name="test-log")
-    return TestData(config=config, graph=graph, instances=instances)
+    return TestData(
+        config=config, graph=graph, instances=instances, events=all_events
+    )
 
 
 def _merge_tagged(rng, streams, start_time: int):

@@ -107,6 +107,98 @@ class TestWorkers:
         assert serial_out.split("\n\n", 1)[1] == cpu_out.split("\n\n", 1)[1]
 
 
+class TestDetect:
+    def test_mine_save_queries_then_detect(self, corpus, tmp_path, capsys):
+        queries = tmp_path / "queries.jsonl"
+        assert (
+            main(
+                [
+                    "mine",
+                    "--train",
+                    str(corpus),
+                    "--behavior",
+                    "gzip-decompress",
+                    "--max-edges",
+                    "3",
+                    "--save-queries",
+                    str(queries),
+                ]
+            )
+            == 0
+        )
+        assert "behavior queries" in capsys.readouterr().out
+        assert queries.exists()
+        out_json = tmp_path / "detect.json"
+        log = tmp_path / "log.jsonl"
+        assert (
+            main(
+                [
+                    "detect",
+                    "--queries",
+                    str(queries),
+                    "--instances",
+                    "3",
+                    "--batch-size",
+                    "64",
+                    "--save-log",
+                    str(log),
+                    "--json",
+                    str(out_json),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "events/s" in out and "detections" in out
+        import json
+
+        payload = json.loads(out_json.read_text())
+        assert payload["queries"] >= 1
+        assert payload["batches"] >= 1
+        assert payload["events_per_second"] > 0
+        assert "gzip-decompress#1" in payload["per_query"]
+        # the saved log replays identically through --log
+        assert (
+            main(
+                [
+                    "serve",  # alias for detect
+                    "--queries",
+                    str(queries),
+                    "--log",
+                    str(log),
+                    "--batch-size",
+                    "64",
+                ]
+            )
+            == 0
+        )
+        replay_out = capsys.readouterr().out
+        first_detections = out.split("detections:")[1].split("wrote")[0]
+        assert replay_out.split("detections:")[1] == first_detections
+
+    def test_detect_missing_queries_errors(self, tmp_path, capsys):
+        code = main(
+            ["detect", "--queries", str(tmp_path / "none.jsonl"), "--instances", "2"]
+        )
+        assert code == 2
+        assert "missing" in capsys.readouterr().err
+
+    def test_detect_missing_log_errors(self, tmp_path, capsys):
+        queries = tmp_path / "q.jsonl"
+        queries.write_text(
+            '{"name": "q", "labels": ["A", "B"], "edges": [[0, 1]], "max_span": 5}\n'
+        )
+        code = main(
+            ["detect", "--queries", str(queries), "--log", str(tmp_path / "no.jsonl")]
+        )
+        assert code == 2
+        assert "missing" in capsys.readouterr().err
+
+    def test_detect_requires_a_source(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["detect", "--queries", "q.jsonl"])
+
+
 class TestExperiment:
     def test_experiment_all_behaviors(self, corpus, capsys, tmp_path):
         out_json = tmp_path / "exp.json"

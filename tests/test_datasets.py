@@ -6,11 +6,13 @@ from repro.core.errors import DatasetError
 from repro.datasets.io import (
     graph_from_dict,
     graph_to_dict,
+    load_events_jsonl,
     load_graphs_jsonl,
+    save_events_jsonl,
     save_graphs_jsonl,
 )
 from repro.datasets.synthetic import replicate_graphs, replicate_training_data
-from repro.syscall import build_training_data
+from repro.syscall import SyscallEvent, build_training_data
 
 from conftest import build_graph
 
@@ -33,6 +35,21 @@ class TestIO:
         loaded = load_graphs_jsonl(path)
         assert len(loaded) == 2
         assert loaded[1].num_edges == 2
+
+    def test_event_log_roundtrip(self, tmp_path):
+        events = [
+            SyscallEvent(0, "open", "p1", "proc", "f1", "file"),
+            SyscallEvent(4, "connect", "p1", "proc", "s1", "sock"),
+        ]
+        path = tmp_path / "log.jsonl"
+        assert save_events_jsonl(events, path) == 2
+        assert load_events_jsonl(path) == events
+
+    def test_malformed_event_payload_rejected(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"time": 0, "syscall": "open"}\n')
+        with pytest.raises(DatasetError):
+            load_events_jsonl(path)
 
     def test_blank_lines_skipped(self, tmp_path):
         path = tmp_path / "graphs.jsonl"

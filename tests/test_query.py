@@ -5,6 +5,7 @@ import pytest
 from repro.baselines.gspan import NonTemporalPattern
 from repro.baselines.nodeset import NodeSetQuery
 from repro.core.errors import QueryError
+from repro.core.graph import TemporalGraph
 from repro.core.pattern import TemporalPattern
 from repro.query.engine import QueryEngine
 from repro.query.evaluation import PrecisionRecall, evaluate_spans, pool_spans
@@ -30,6 +31,26 @@ def log_graph():
 
 
 PATTERN = TemporalPattern(("A", "B", "C"), ((0, 1), (1, 2)))
+
+
+class TestEngineConstruction:
+    def test_unfreezable_graph_raises_query_error(self):
+        """Constructor failures surface as QueryError with a remedy."""
+        graph = TemporalGraph(name="concurrent")
+        a = graph.add_node("A")
+        b = graph.add_node("B")
+        graph.add_edge(a, b, time=5)
+        graph.add_edge(b, a, time=5)  # concurrent edges: freeze() must fail
+        with pytest.raises(QueryError, match="sequentialize"):
+            QueryEngine(graph)
+
+    def test_unfrozen_valid_graph_frozen_on_demand(self):
+        graph = TemporalGraph(name="ok")
+        a = graph.add_node("A")
+        b = graph.add_node("B")
+        graph.add_edge(a, b, time=1)
+        engine = QueryEngine(graph)
+        assert engine.graph.frozen
 
 
 class TestTemporalSearch:
