@@ -20,10 +20,14 @@ Detections are deduplicated by ``(query, span)``, matching the batch
 engine's span semantics: accumulating the detections of a replayed log
 yields exactly the span set ``QueryEngine.search_temporal`` reports on
 the frozen whole — the equivalence `tests/test_serving.py` asserts.
+(The guarantee assumes match counts stay under
+:data:`~repro.core.graph_index.DEFAULT_MATCH_LIMIT` per batch; see
+:meth:`DetectionService._new_spans`.)
 """
 
 from __future__ import annotations
 
+import math
 import time as _time
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
@@ -89,7 +93,7 @@ class ServiceStats:
         if not self.batch_seconds:
             return 0.0
         ordered = sorted(self.batch_seconds)
-        index = min(len(ordered) - 1, int(len(ordered) * quantile))
+        index = min(len(ordered) - 1, max(0, math.ceil(len(ordered) * quantile) - 1))
         return ordered[index]
 
 
@@ -226,9 +230,14 @@ class DetectionService:
         Any such match has its last edge at time ``>= delta_min_time``,
         so its first edge cannot predate ``delta_min_time - max_span`` —
         the join starts there instead of at the window edge.  Enumeration
-        shares the batch engine's per-search safety valve
-        (:data:`DEFAULT_MATCH_LIMIT`); the batch-equivalence contract
-        holds for queries whose match counts stay under it.
+        shares the batch engine's safety valve
+        (:data:`DEFAULT_MATCH_LIMIT`), but applies it *per query per
+        batch*, whereas the batch engine applies it once per whole-log
+        search — so once a query saturates the limit in any single
+        search, streaming may report more (or different) spans than
+        batch.  The batch-equivalence contract therefore holds only for
+        queries whose match counts stay under the limit in every batch
+        as well as in the one-shot search.
         """
         start_index = max(
             self.graph.first_live_index,
