@@ -16,7 +16,7 @@ import pytest
 from repro.core.miner import MinerConfig, miner_variant
 from repro.experiments.harness import mine_behavior
 
-from benchmarks.bench_common import MINING_SECONDS, emit, once
+from benchmarks.bench_common import MINING_SECONDS, emit, once, scale_guard
 
 #: one representative behavior per size class (with a per-class search
 #: depth), to bound total benchmark time
@@ -63,9 +63,12 @@ def test_fig13_variant_response_time(benchmark, train, size_class):
         elapsed, timed_out, _score = timings[variant]
         marker = " (hit cap)" if timed_out else ""
         emit(f"{variant:12s} {elapsed:9.2f} {elapsed / base:15.1f}x{marker}")
-    # shape: TGMiner beats every overhead-based baseline
-    for variant in OVERHEAD_VARIANTS:
-        assert timings[variant][0] >= base, f"{variant} unexpectedly faster"
+    # shape: TGMiner beats every overhead-based baseline — at smoke scale
+    # the per-test overheads being measured are microseconds and the
+    # ordering is noise, so only assert it at full scale
+    if scale_guard("TGMiner beats overhead baselines"):
+        for variant in OVERHEAD_VARIANTS:
+            assert timings[variant][0] >= base, f"{variant} unexpectedly faster"
     # all variants that finished must agree on the best score
     finished = [v for v in VARIANTS if not timings[v][1]]
     scores = {round(timings[v][2], 9) for v in finished}

@@ -9,7 +9,7 @@ import time
 from repro.core.miner import MinerConfig
 from repro.experiments.harness import mine_behavior
 
-from benchmarks.bench_common import MINING_SECONDS, emit, once
+from benchmarks.bench_common import MINING_SECONDS, emit, once, scale_guard
 
 FRACTIONS = (0.25, 0.5, 0.75, 1.0)
 BEHAVIOR = "ftpd-login"
@@ -38,5 +38,8 @@ def test_fig15_response_time_vs_training_amount(benchmark, train):
     emit(f"{'fraction':>8s} {'seconds':>9s}")
     for fraction in FRACTIONS:
         emit(f"{fraction:8.2f} {table[fraction]:9.3f}")
-    # shape: more data never cheaper by much; full data costs more than a quarter
-    assert table[1.0] >= table[0.25] * 0.8
+    # shape: more data never cheaper by much; full data costs more than a
+    # quarter — at smoke scale every run is millisecond noise, so the
+    # timing shape only means something at full scale
+    if scale_guard("full-data run costs more than quarter-data run"):
+        assert table[1.0] >= table[0.25] * 0.8

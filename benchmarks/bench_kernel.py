@@ -1,0 +1,222 @@
+"""Kernel micro-ablation: legacy object path vs interned-label CSR kernel.
+
+The data-plane refactor (:mod:`repro.core.kernel`) claims two things:
+
+1. **byte-identity** — embedding extension and the temporal index join
+   produce exactly the same tables / match sequences on both paths;
+2. **speed** — on data-scale graphs the kernel path wins by at least
+   ``BENCH_MIN_KERNEL_SPEEDUP`` (default 2x): extension walks only the
+   CSR runs incident to an embedding instead of scanning every residual
+   edge, and the join reads flat int columns instead of edge objects.
+
+The workload is a busy-host test log (the regime the query engine and
+the streaming service actually operate in): a growth sweep extends every
+seed pattern's embedding table for ``DEPTH`` generations following the
+first ``FAN`` children, and a match sweep runs capped ``find_matches``
+searches for patterns extracted from the same graph.  Both modes run the
+identical workload best-of-``BENCH_KERNEL_REPEATS``; the combined ratio
+lands in ``BENCH_kernel.json`` and is trend-gated by
+``check_regression.py``.
+
+The micro-ablation needs a graph large enough for the scan/incident gap
+to be the signal rather than noise, so the log size has a floor of
+``KERNEL_MIN_INSTANCES`` behavior instances even at smoke scale.
+"""
+
+import os
+import random
+import time
+
+from repro.core.graph_index import find_matches
+from repro.core.growth import extend_embeddings, seed_patterns
+from repro.core.kernel import LabelInterner, build_kernels
+from repro.core.pattern import TemporalPattern
+from repro.syscall import build_test_data
+
+from benchmarks.bench_common import TEST_INSTANCES, emit, once, write_json
+
+#: Growth-sweep shape: generations per seed / children followed per level.
+DEPTH = int(os.environ.get("BENCH_KERNEL_DEPTH", 2))
+FAN = int(os.environ.get("BENCH_KERNEL_FAN", 3))
+#: Best-of-N timing repeats per mode.
+REPEATS = int(os.environ.get("BENCH_KERNEL_REPEATS", 3))
+#: Combined-speedup floor the kernel path must clear (0 disables).
+MIN_KERNEL_SPEEDUP = float(os.environ.get("BENCH_MIN_KERNEL_SPEEDUP", 2.0))
+#: Smallest meaningful ablation input (see module docstring).
+KERNEL_MIN_INSTANCES = int(os.environ.get("BENCH_KERNEL_MIN_INSTANCES", 12))
+
+MATCH_PATTERNS = 24
+MATCH_SPAN = 60
+
+
+def _extract_pattern(rng, graph, max_edges=3):
+    """A T-connected pattern that embeds in ``graph`` (match workload)."""
+    edges = graph.edges
+    start = rng.randrange(len(edges))
+    chosen = [start]
+    nodes = set(edges[start].endpoints())
+    for idx in range(start + 1, len(edges)):
+        if len(chosen) >= max_edges:
+            break
+        edge = edges[idx]
+        if (edge.src in nodes or edge.dst in nodes) and rng.random() < 0.6:
+            chosen.append(idx)
+            nodes.update(edge.endpoints())
+    sub_nodes: dict[int, int] = {}
+    labels: list[str] = []
+    sub_edges: list[tuple[int, int]] = []
+    for idx in chosen:
+        edge = edges[idx]
+        for node in edge.endpoints():
+            if node not in sub_nodes:
+                sub_nodes[node] = len(labels)
+                labels.append(graph.label(node))
+        sub_edges.append((sub_nodes[edge.src], sub_nodes[edge.dst]))
+    try:
+        return TemporalPattern(labels, sub_edges)
+    except Exception:
+        return None
+
+
+def _growth_sweep(corpus, seeds, kernels, use_kernel):
+    """Extend every seed table for DEPTH generations; returns a checksum."""
+    total = 0
+    for key in sorted(seeds):
+        frontier = [seeds[key]]
+        for _ in range(DEPTH):
+            nxt = []
+            for table in frontier:
+                ext = extend_embeddings(
+                    corpus, table, kernels, use_kernel=use_kernel
+                )
+                total += len(ext)
+                for child_key in sorted(ext)[:FAN]:
+                    nxt.append(ext[child_key])
+            frontier = nxt[:FAN]
+    return total
+
+
+def _match_sweep(patterns, graph, use_kernel):
+    """Capped searches for every pattern; returns the match count."""
+    total = 0
+    for pattern in patterns:
+        for _ in find_matches(
+            pattern, graph, max_span=MATCH_SPAN, use_kernel=use_kernel
+        ):
+            total += 1
+    return total
+
+
+def _best_of(fn, *args):
+    best = float("inf")
+    result = None
+    for _ in range(max(1, REPEATS)):
+        started = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_kernel_vs_legacy_ablation(benchmark):
+    instances = max(TEST_INSTANCES, KERNEL_MIN_INSTANCES)
+    test = build_test_data(instances=instances)
+    graph = test.graph
+    graph.freeze()
+    corpus = [graph]
+    kernels = build_kernels(corpus, LabelInterner())
+    seeds = seed_patterns(corpus, use_index=True)
+    rng = random.Random(17)
+    patterns = []
+    while len(patterns) < MATCH_PATTERNS:
+        pattern = _extract_pattern(rng, graph)
+        if pattern is not None:
+            patterns.append(pattern)
+
+    def run():
+        # identity first: the kernel path must reproduce the legacy
+        # tables and match sequences exactly on this exact workload
+        identical = True
+        for key in sorted(seeds)[:40]:
+            legacy_ext = extend_embeddings(corpus, seeds[key], use_kernel=False)
+            kernel_ext = extend_embeddings(corpus, seeds[key], kernels)
+            identical = identical and legacy_ext == kernel_ext
+        for pattern in patterns:
+            legacy_matches = list(
+                find_matches(
+                    pattern, graph, max_span=MATCH_SPAN, use_kernel=False
+                )
+            )
+            kernel_matches = list(
+                find_matches(pattern, graph, max_span=MATCH_SPAN)
+            )
+            identical = identical and legacy_matches == kernel_matches
+
+        growth_legacy, checksum_legacy = _best_of(
+            _growth_sweep, corpus, seeds, None, False
+        )
+        growth_kernel, checksum_kernel = _best_of(
+            _growth_sweep, corpus, seeds, kernels, True
+        )
+        identical = identical and checksum_legacy == checksum_kernel
+        match_legacy, count_legacy = _best_of(_match_sweep, patterns, graph, False)
+        match_kernel, count_kernel = _best_of(_match_sweep, patterns, graph, True)
+        identical = identical and count_legacy == count_kernel
+        return {
+            "identical": identical,
+            "growth_legacy": growth_legacy,
+            "growth_kernel": growth_kernel,
+            "match_legacy": match_legacy,
+            "match_kernel": match_kernel,
+            "matches": count_kernel,
+        }
+
+    rows = once(benchmark, run)
+    growth_speedup = rows["growth_legacy"] / max(rows["growth_kernel"], 1e-9)
+    match_speedup = rows["match_legacy"] / max(rows["match_kernel"], 1e-9)
+    legacy_total = rows["growth_legacy"] + rows["match_legacy"]
+    kernel_total = rows["growth_kernel"] + rows["match_kernel"]
+    speedup = legacy_total / max(kernel_total, 1e-9)
+
+    emit("\n=== Kernel micro-ablation: legacy object path vs CSR kernel ===")
+    emit(
+        f"workload: {graph.num_edges} edges, {len(seeds)} seeds, "
+        f"depth {DEPTH} fan {FAN}, {len(patterns)} match patterns "
+        f"(span cap {MATCH_SPAN}), best of {REPEATS}"
+    )
+    emit(f"{'stage':8s} {'legacy':>9s} {'kernel':>9s} {'speedup':>8s}")
+    emit(
+        f"{'growth':8s} {rows['growth_legacy']:8.3f}s {rows['growth_kernel']:8.3f}s "
+        f"{growth_speedup:7.2f}x"
+    )
+    emit(
+        f"{'match':8s} {rows['match_legacy']:8.3f}s {rows['match_kernel']:8.3f}s "
+        f"{match_speedup:7.2f}x"
+    )
+    emit(f"{'total':8s} {legacy_total:8.3f}s {kernel_total:8.3f}s {speedup:7.2f}x")
+
+    write_json(
+        "BENCH_kernel.json",
+        {
+            "edges": graph.num_edges,
+            "instances": instances,
+            "depth": DEPTH,
+            "fan": FAN,
+            "repeats": REPEATS,
+            "matches": rows["matches"],
+            "growth_legacy_seconds": rows["growth_legacy"],
+            "growth_kernel_seconds": rows["growth_kernel"],
+            "match_legacy_seconds": rows["match_legacy"],
+            "match_kernel_seconds": rows["match_kernel"],
+            "growth_speedup": growth_speedup,
+            "match_speedup": match_speedup,
+            "speedup": speedup,
+            "identical": rows["identical"],
+            "min_speedup_required": MIN_KERNEL_SPEEDUP,
+        },
+    )
+    assert rows["identical"], "kernel path diverged from the legacy path"
+    if MIN_KERNEL_SPEEDUP > 0:
+        assert speedup >= MIN_KERNEL_SPEEDUP, (
+            f"kernel path only {speedup:.2f}x over legacy "
+            f"(floor {MIN_KERNEL_SPEEDUP}x)"
+        )

@@ -64,6 +64,10 @@ METRICS = [
     Metric("BENCH_serving.json", "identical", "bool_true"),
     Metric("BENCH_serving.json", "events_per_second", "absolute"),
     Metric("BENCH_serving.json", "latency_p95_ms", "absolute"),
+    Metric("BENCH_kernel.json", "speedup", "higher_better"),
+    Metric("BENCH_kernel.json", "identical", "bool_true"),
+    Metric("BENCH_kernel.json", "growth_speedup", "absolute"),
+    Metric("BENCH_kernel.json", "match_speedup", "absolute"),
     Metric("BENCH_parallel.json", "identical", "bool_true"),
     Metric(
         "BENCH_parallel.json", "seed_speedup", "higher_better", guard="speedup_enforced"

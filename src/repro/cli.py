@@ -19,7 +19,10 @@ graph-index candidate prefilter (identical results, different speed);
 and ``experiment`` mines every behavior of a corpus with behavior-level
 fan-out.  ``detect`` replays a recorded (or synthesized) syscall log as a
 stream into the :class:`~repro.serving.service.DetectionService` and
-reports per-batch latency and sustained events/sec throughput.
+reports per-batch latency and sustained events/sec throughput.  Both
+``mine`` and ``detect`` accept ``--profile``, which wraps the run in
+``cProfile`` and appends the top-20 cumulative hot spots to the report —
+perf PRs should start from that data.
 """
 
 from __future__ import annotations
@@ -103,6 +106,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="also save the top-k ranked patterns as a behavior-query "
         "jsonl file consumable by `detect --queries`",
     )
+    mine.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the top-20 cumulative hot "
+        "spots after the normal output (perf-work reconnaissance)",
+    )
 
     exp = sub.add_parser(
         "experiment",
@@ -169,6 +178,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(--no-index disables; detections are identical either way)",
     )
     det.add_argument("--json", dest="json_out", default=None, help="write summary JSON")
+    det.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the top-20 cumulative hot "
+        "spots after the normal output (perf-work reconnaissance)",
+    )
 
     sub.add_parser("behaviors", help="list the 12 behaviors and size classes")
     return parser
@@ -424,6 +439,23 @@ def _cmd_behaviors(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_profiled(handler, args: argparse.Namespace) -> int:
+    """Run a command under cProfile, then print the top cumulative costs.
+
+    The profile prints *after* the command's normal output so scripts
+    reading the report from stdout keep working; future perf PRs start
+    from this data instead of guessing at hot spots.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    code = profiler.runcall(handler, args)
+    print("\n--- cProfile: top 20 by cumulative time ---")
+    pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+    return code
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -435,7 +467,10 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_detect,
         "behaviors": _cmd_behaviors,
     }
-    return handlers[args.command](args)
+    handler = handlers[args.command]
+    if getattr(args, "profile", False):
+        return _run_profiled(handler, args)
+    return handler(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

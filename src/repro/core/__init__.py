@@ -10,6 +10,7 @@ from repro.core.errors import (
     TimestampOrderError,
 )
 from repro.core.graph import TemporalEdge, TemporalGraph
+from repro.core.kernel import GraphKernel, LabelInterner
 from repro.core.miner import (
     MinedPattern,
     MinerConfig,
@@ -39,6 +40,8 @@ __all__ = [
     "TemporalEdge",
     "TemporalGraph",
     "TemporalPattern",
+    "GraphKernel",
+    "LabelInterner",
     "TGMiner",
     "MinerConfig",
     "MinedPattern",

@@ -22,6 +22,7 @@ from types import MappingProxyType
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.core.errors import GraphError, TimestampOrderError
+from repro.core.kernel import EdgeArrays, GraphKernel, LabelInterner
 
 __all__ = ["TemporalEdge", "TemporalGraph"]
 
@@ -70,6 +71,11 @@ class TemporalGraph:
         self._edge_times: list[int] = []
         self._suffix_labels: list[frozenset[str]] = []
         self._pair_edges: dict[tuple[str, str], list[int]] = {}
+        # Array-backed data plane (repro.core.kernel), built lazily on
+        # first use and never pickled — workers rebuild after fork/spawn.
+        self._edge_srcs: list[int] | None = None
+        self._edge_dsts: list[int] | None = None
+        self._kernel: GraphKernel | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -233,6 +239,43 @@ class TemporalGraph:
         self._require_frozen()
         return MappingProxyType(self._pair_edges)
 
+    def edge_arrays(self) -> EdgeArrays:
+        """Flat ``(base, src, dst, time)`` edge columns (base is 0).
+
+        The columns are built once on first access and cached; they are
+        what :func:`repro.core.graph_index.find_matches` scans instead of
+        per-edge objects.  The time column aliases the index built at
+        freeze time, so no storage is duplicated for it.
+        """
+        self._require_frozen()
+        if self._edge_srcs is None:
+            self._edge_srcs = [edge.src for edge in self._edges]
+            self._edge_dsts = [edge.dst for edge in self._edges]
+        return (0, self._edge_srcs, self._edge_dsts, self._edge_times)
+
+    def kernel(self, interner: LabelInterner | None = None) -> GraphKernel:
+        """The graph's interned-label CSR kernel, built lazily and cached.
+
+        With ``interner`` given, the kernel is (re)built bound to that
+        interner unless the cached one already is — datasets (mining
+        runs) pass one shared interner across all their graphs so label
+        ids agree.  A no-arg call returns the cached kernel *whatever
+        interner it is currently bound to* (a fresh graph-local one only
+        if nothing is cached yet): the flat arrays and CSR runs are
+        interner-agnostic, but label ids must always be translated
+        through the returned kernel's own ``interner``, never assumed
+        graph-local.  The cache is dropped on pickling: under
+        multiprocessing every worker rebuilds its own kernels rather
+        than deserializing them.
+        """
+        self._require_frozen()
+        cached = self._kernel
+        if cached is not None and (interner is None or cached.interner is interner):
+            return cached
+        kernel = GraphKernel.from_graph(self, interner)
+        self._kernel = kernel
+        return kernel
+
     def edge_index_after(self, time: int) -> int:
         """Index of the first edge with timestamp strictly greater than ``time``."""
         self._require_frozen()
@@ -291,6 +334,16 @@ class TemporalGraph:
     # ------------------------------------------------------------------
     # dunder / misc
     # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        # The kernel and flat edge columns are cheap, deterministic
+        # derivations; shipping them to pool workers would pickle every
+        # list twice.  Workers rebuild them lazily on first use.
+        state = self.__dict__.copy()
+        state["_kernel"] = None
+        state["_edge_srcs"] = None
+        state["_edge_dsts"] = None
+        return state
+
     def __len__(self) -> int:
         return len(self._edges)
 

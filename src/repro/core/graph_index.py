@@ -43,6 +43,7 @@ from typing import Iterator, Protocol, Sequence, runtime_checkable
 
 from repro.core.brute import Match
 from repro.core.graph import TemporalEdge, TemporalGraph
+from repro.core.kernel import LabelInterner
 from repro.core.pattern import TemporalPattern
 
 __all__ = [
@@ -87,6 +88,13 @@ class EdgeIndexedSource(Protocol):
 
     def edges_between(self, src_label: str, dst_label: str) -> Sequence[int]: ...
 
+    # Optional fast path (duck-typed, not part of the required protocol):
+    # an ``edge_arrays()`` method returning ``(base, src, dst, time)``
+    # flat columns — position ``id - base`` describes edge ``id`` — lets
+    # the matcher join over compact arrays instead of edge objects.
+    # Frozen TemporalGraphs provide it from their kernel; StreamingGraph
+    # maintains the columns incrementally across ingest/evict.
+
 
 def find_matches(
     pattern: TemporalPattern,
@@ -95,6 +103,8 @@ def find_matches(
     limit: int | None = None,
     start_index: int = 0,
     min_last_index: int = 0,
+    *,
+    use_kernel: bool = True,
 ) -> Iterator[Match]:
     """Yield matches of ``pattern`` in ``graph`` via index joins.
 
@@ -129,6 +139,11 @@ def find_matches(
         Incremental evaluation passes the first newly-ingested id: every
         match whose last edge predates the delta was already reported by
         an earlier batch, so only genuinely new matches are enumerated.
+    use_kernel:
+        Join over the source's flat edge columns (``edge_arrays()``)
+        when it offers them — the kernel fast path.  ``False`` forces
+        the legacy per-edge-object join; both enumerate byte-identical
+        match sequences (the equivalence `tests/test_kernel.py` pins).
     """
     if not getattr(graph, "frozen", True):
         graph.freeze()
@@ -137,13 +152,125 @@ def find_matches(
         return
     p_edges = pattern.edges
     p_labels = pattern.labels
-    edges = graph.edges
     candidate_lists = []
     for u, v in p_edges:
         lst = graph.edges_between(p_labels[u], p_labels[v])
         if not lst:
             return
         candidate_lists.append(lst)
+    arrays = getattr(graph, "edge_arrays", None) if use_kernel else None
+    if arrays is not None:
+        yield from _join_arrays(
+            pattern, arrays(), candidate_lists,
+            max_span, limit, start_index, min_last_index,
+        )
+    else:
+        yield from _join_objects(
+            pattern, graph.edges, candidate_lists,
+            max_span, limit, start_index, min_last_index,
+        )
+
+
+def _join_arrays(
+    pattern: TemporalPattern,
+    arrays: tuple[int, Sequence[int], Sequence[int], Sequence[int]],
+    candidate_lists: list[Sequence[int]],
+    max_span: int | None,
+    limit: int | None,
+    start_index: int,
+    min_last_index: int,
+) -> Iterator[Match]:
+    """Temporal index join over flat ``(base, src, dst, time)`` columns.
+
+    The twin of :func:`_join_objects` with per-edge object fetches
+    replaced by three list index reads; the control flow is mirrored
+    line by line so the enumeration order is identical.
+    """
+    base, e_src, e_dst, e_time = arrays
+    p_edges = pattern.edges
+    m = pattern.num_edges
+    last_pos = m - 1
+    last_floor = min_last_index - 1
+
+    assignment: dict[int, int] = {}
+    used: set[int] = set()
+    chosen: list[int] = []
+    emitted = 0
+
+    def join(edge_pos: int, frontier: int, start_time: int) -> Iterator[Match]:
+        nonlocal emitted
+        if edge_pos == m:
+            nodes = tuple(assignment[i] for i in range(pattern.num_nodes))
+            yield Match(nodes, tuple(chosen))
+            emitted += 1
+            return
+        pu, pv = p_edges[edge_pos]
+        cands = candidate_lists[edge_pos]
+        if edge_pos == last_pos and frontier < last_floor:
+            frontier = last_floor
+        lo = bisect_right(cands, frontier)
+        for pos in range(lo, len(cands)):
+            idx = cands[pos]
+            offset = idx - base
+            if offset < 0:
+                # mirrors the streaming edge view's defense: a candidate
+                # below the compaction base means the caller's frontier
+                # was wrong, never silently read a recycled slot
+                raise IndexError(f"edge {idx} was compacted away")
+            t = e_time[offset]
+            if max_span is not None and edge_pos > 0:
+                if t - start_time > max_span:
+                    break
+            du = e_src[offset]
+            dv = e_dst[offset]
+            bind_u = pu not in assignment
+            bind_v = pv not in assignment
+            if not bind_u and assignment[pu] != du:
+                continue
+            if not bind_v and assignment[pv] != dv:
+                continue
+            if bind_u and du in used:
+                continue
+            if bind_v and (dv in used or (bind_u and du == dv)):
+                continue
+            if bind_u:
+                assignment[pu] = du
+                used.add(du)
+            if bind_v:
+                assignment[pv] = dv
+                used.add(dv)
+            chosen.append(idx)
+            first_time = t if edge_pos == 0 else start_time
+            yield from join(edge_pos + 1, idx, first_time)
+            chosen.pop()
+            if bind_u:
+                del assignment[pu]
+                used.discard(du)
+            if bind_v:
+                del assignment[pv]
+                used.discard(dv)
+            if limit is not None and emitted >= limit:
+                return
+
+    yield from join(0, start_index - 1, 0)
+
+
+def _join_objects(
+    pattern: TemporalPattern,
+    edges: Sequence[TemporalEdge],
+    candidate_lists: list[Sequence[int]],
+    max_span: int | None,
+    limit: int | None,
+    start_index: int,
+    min_last_index: int,
+) -> Iterator[Match]:
+    """Legacy temporal index join over per-edge objects.
+
+    Kept callable (``find_matches(..., use_kernel=False)``) for sources
+    without flat columns and for the kernel equivalence tests/ablation.
+    """
+    p_edges = pattern.edges
+    m = pattern.num_edges
     last_pos = m - 1
     last_floor = min_last_index - 1
 
@@ -268,7 +395,11 @@ class Signature:
 
     ``node_labels`` counts nodes per label; ``edge_labels`` counts edges
     per ``(src_label, dst_label)`` pair.  Both are plain dicts — the
-    signature is built once per object and only read afterwards.
+    signature is built once per object and only read afterwards.  Keys
+    are label strings at the public API; :class:`CandidateFilter`
+    internally re-keys its cached signatures to interned int ids (see
+    :class:`~repro.core.kernel.LabelInterner`), which
+    :func:`signature_contains` handles identically.
     """
 
     node_labels: dict[str, int]
@@ -337,14 +468,27 @@ class CandidateFilter:
     pattern and graph signatures (patterns are immutable and hashable,
     graphs are keyed by identity) plus per-pattern label→nodes indexes
     used to seed VF2 candidate lists.
+
+    Internally the containment pretests run over *interned* signatures:
+    the filter owns a :class:`~repro.core.kernel.LabelInterner` and every
+    pattern/graph signature is re-keyed to dense int ids through it, so
+    the per-test multiset comparison hashes ints instead of strings.
+    Interning is a bijection within one filter, hence every pretest
+    answer is identical to the string-keyed comparison; the public
+    :meth:`signature_of_pattern` / :meth:`signature_of_graph` accessors
+    keep returning string-keyed signatures.
     """
 
     def __init__(self) -> None:
         self.stats = FilterStats()
+        self._interner = LabelInterner()
         self._pattern_sigs: dict[TemporalPattern, Signature] = {}
         self._graph_sigs: dict[int, Signature] = {}
         self._graph_refs: dict[int, TemporalGraph] = {}
         self._label_nodes: dict[TemporalPattern, dict[str, list[int]]] = {}
+        # interned twins, memoized by the same keys as the string caches
+        self._pattern_int_sigs: dict[TemporalPattern, Signature] = {}
+        self._graph_int_sigs: dict[int, Signature] = {}
 
     # -- signature access ------------------------------------------------
     def signature_of_pattern(self, pattern: TemporalPattern) -> Signature:
@@ -375,17 +519,44 @@ class CandidateFilter:
             self._label_nodes[pattern] = index
         return index
 
+    # -- interned signatures ---------------------------------------------
+    def _intern_signature(self, sig: Signature) -> Signature:
+        """Re-key a string signature to this filter's interned id space."""
+        intern = self._interner.intern
+        return Signature(
+            {intern(label): count for label, count in sig.node_labels.items()},
+            {
+                (intern(src), intern(dst)): count
+                for (src, dst), count in sig.edge_labels.items()
+            },
+        )
+
+    def _int_sig_of_pattern(self, pattern: TemporalPattern) -> Signature:
+        sig = self._pattern_int_sigs.get(pattern)
+        if sig is None:
+            sig = self._intern_signature(self.signature_of_pattern(pattern))
+            self._pattern_int_sigs[pattern] = sig
+        return sig
+
+    def _int_sig_of_graph(self, graph: TemporalGraph) -> Signature:
+        key = id(graph)
+        sig = self._graph_int_sigs.get(key)
+        if sig is None:
+            sig = self._intern_signature(self.signature_of_graph(graph))
+            self._graph_int_sigs[key] = sig
+        return sig
+
     # -- containment pretests --------------------------------------------
     def pattern_vs_pattern(self, small: TemporalPattern, big: TemporalPattern) -> bool:
         """Whether ``small ⊆t big`` is possible by signature containment."""
         return self._check(
-            self.signature_of_pattern(big), self.signature_of_pattern(small)
+            self._int_sig_of_pattern(big), self._int_sig_of_pattern(small)
         )
 
     def pattern_vs_graph(self, pattern: TemporalPattern, graph: TemporalGraph) -> bool:
         """Whether ``pattern`` can possibly match inside ``graph``."""
         return self._check(
-            self.signature_of_graph(graph), self.signature_of_pattern(pattern)
+            self._int_sig_of_graph(graph), self._int_sig_of_pattern(pattern)
         )
 
     def labels_vs_graph(
@@ -402,10 +573,10 @@ class CandidateFilter:
         not compared because an order-free match may reuse one data
         adjacency for several pattern edges.
         """
-        small = Signature(
-            dict(node_labels), {pair: 1 for pair in edge_label_pairs}
+        small = self._intern_signature(
+            Signature(dict(node_labels), {pair: 1 for pair in edge_label_pairs})
         )
-        return self._check(self.signature_of_graph(graph), small)
+        return self._check(self._int_sig_of_graph(graph), small)
 
     def _check(self, big: Signature, small: Signature) -> bool:
         self.stats.checks += 1

@@ -6,7 +6,10 @@ parent by one data edge whose timestamp is strictly larger than every
 already-matched edge — i.e. an edge of the parent match's *residual
 graph*.  The miner therefore never re-matches patterns from scratch: each
 pattern carries its embedding table and children inherit extended
-embeddings from a single scan over residual edges.
+embeddings from one pass over the parent's residual edges — on the
+default kernel path a CSR-adjacency walk touching only the edges
+incident to each embedding (:mod:`repro.core.kernel`), on the retained
+legacy path a linear scan of every residual edge.
 
 Three growth options (Figure 5) keep T-connectivity and cover the whole
 pattern space (Theorem 1):
@@ -23,9 +26,11 @@ without canonical labeling.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Iterable, NamedTuple, Sequence
 
 from repro.core.graph import TemporalGraph
+from repro.core.kernel import GraphKernel
 from repro.core.pattern import TemporalPattern
 
 __all__ = [
@@ -98,41 +103,137 @@ def seed_patterns(
 def extend_embeddings(
     graphs: Sequence[TemporalGraph],
     embeddings: EmbeddingTable,
+    kernels: Sequence[GraphKernel] | None = None,
+    *,
+    use_kernel: bool = True,
 ) -> dict[ExtensionKey, EmbeddingTable]:
-    """One scan over residual edges producing all children's embeddings.
+    """Produce all children's embeddings from the parents' residual edges.
 
     For every embedding, every data edge after its cut point that touches
     at least one mapped node yields a child embedding under the forward /
     backward / inward extension key describing it at pattern level.
+
+    Two implementations produce identical tables:
+
+    * the **kernel path** (default for frozen graphs) walks the CSR
+      adjacency of the embedding's mapped nodes, bisecting each incident
+      edge run to the cut point — work proportional to the *incident*
+      residual edges, not the whole residual graph.  ``kernels`` supplies
+      prebuilt per-graph kernels (the miner passes its dataset kernels);
+      otherwise each frozen graph's cached kernel is used.
+    * the **legacy scan** (``use_kernel=False``, and any unfrozen graph)
+      visits every residual edge per embedding — kept callable for the
+      cross-implementation equivalence tests and the kernel ablation.
     """
     out: dict[ExtensionKey, EmbeddingTable] = {}
     for gid, emb_set in embeddings.items():
         graph = graphs[gid]
-        edges = graph.edges
-        labels = graph.labels
-        n_edges = len(edges)
-        for emb in emb_set:
-            node_to_pattern = {dn: pi for pi, dn in enumerate(emb.nodes)}
-            for idx in range(emb.last_index + 1, n_edges):
-                edge = edges[idx]
-                src_p = node_to_pattern.get(edge.src)
-                dst_p = node_to_pattern.get(edge.dst)
-                if src_p is None and dst_p is None:
-                    continue
-                if edge.src == edge.dst:
-                    continue
-                if dst_p is None:
-                    key: ExtensionKey = ("f", src_p, labels[edge.dst])
-                    new_nodes = emb.nodes + (edge.dst,)
-                elif src_p is None:
-                    key = ("b", labels[edge.src], dst_p)
-                    new_nodes = emb.nodes + (edge.src,)
-                else:
-                    key = ("i", src_p, dst_p)
-                    new_nodes = emb.nodes
-                table = out.setdefault(key, {})
-                table.setdefault(gid, set()).add(Embedding(new_nodes, idx))
+        if use_kernel and graph.frozen:
+            kernel = kernels[gid] if kernels is not None else graph.kernel()
+            _extend_in_kernel(kernel, gid, emb_set, out)
+        else:
+            _extend_in_scan(graph, gid, emb_set, out)
     return out
+
+
+def _extend_in_kernel(
+    kernel: GraphKernel,
+    gid: int,
+    emb_set: set[Embedding],
+    out: dict[ExtensionKey, EmbeddingTable],
+) -> None:
+    """Adjacency-driven extension over one graph's kernel arrays.
+
+    Each edge incident to the embedding is reached exactly once: via the
+    out-run of its (mapped) source for forward/inward growth, via the
+    in-run of its (mapped) destination — with mapped sources skipped —
+    for backward growth.  Self-loops are skipped as in the scan path.
+
+    Emission is the dominant cost at data scale, so the inner loops cut
+    it down: rows are built through the C-level ``tuple.__new__`` (they
+    are still :class:`Embedding` instances) and accumulated in a per-graph
+    ``key -> rows`` dict that is folded into the shared output once at
+    the end — one dict probe per row instead of two ``setdefault`` hops.
+    """
+    out_indptr = kernel.out_indptr
+    out_indices = kernel.out_indices
+    in_indptr = kernel.in_indptr
+    in_indices = kernel.in_indices
+    edge_src = kernel.edge_src
+    edge_dst = kernel.edge_dst
+    labels = kernel.node_labels
+    row = tuple.__new__
+    local: dict[ExtensionKey, set[Embedding]] = {}
+    local_get = local.get
+    for emb in emb_set:
+        nodes = emb[0]
+        cut = emb[1]
+        node_to_pattern = {dn: pi for pi, dn in enumerate(nodes)}
+        mapped = node_to_pattern.get
+        for pi, dn in enumerate(nodes):
+            hi = out_indptr[dn + 1]
+            for j in range(bisect_right(out_indices, cut, out_indptr[dn], hi), hi):
+                idx = out_indices[j]
+                dst = edge_dst[idx]
+                if dst == dn:
+                    continue
+                dst_p = mapped(dst)
+                if dst_p is None:
+                    key: ExtensionKey = ("f", pi, labels[dst])
+                    new_nodes = nodes + (dst,)
+                else:
+                    key = ("i", pi, dst_p)
+                    new_nodes = nodes
+                rows = local_get(key)
+                if rows is None:
+                    rows = local[key] = set()
+                rows.add(row(Embedding, (new_nodes, idx)))
+            hi = in_indptr[dn + 1]
+            for j in range(bisect_right(in_indices, cut, in_indptr[dn], hi), hi):
+                idx = in_indices[j]
+                src = edge_src[idx]
+                if src == dn or mapped(src) is not None:
+                    continue
+                key = ("b", labels[src], pi)
+                rows = local_get(key)
+                if rows is None:
+                    rows = local[key] = set()
+                rows.add(row(Embedding, (nodes + (src,), idx)))
+    for key, rows in local.items():
+        out.setdefault(key, {})[gid] = rows
+
+
+def _extend_in_scan(
+    graph: TemporalGraph,
+    gid: int,
+    emb_set: set[Embedding],
+    out: dict[ExtensionKey, EmbeddingTable],
+) -> None:
+    """Legacy object path: one scan over all residual edges per embedding."""
+    edges = graph.edges
+    labels = graph.labels
+    n_edges = len(edges)
+    for emb in emb_set:
+        node_to_pattern = {dn: pi for pi, dn in enumerate(emb.nodes)}
+        for idx in range(emb.last_index + 1, n_edges):
+            edge = edges[idx]
+            src_p = node_to_pattern.get(edge.src)
+            dst_p = node_to_pattern.get(edge.dst)
+            if src_p is None and dst_p is None:
+                continue
+            if edge.src == edge.dst:
+                continue
+            if dst_p is None:
+                key: ExtensionKey = ("f", src_p, labels[edge.dst])
+                new_nodes = emb.nodes + (edge.dst,)
+            elif src_p is None:
+                key = ("b", labels[edge.src], dst_p)
+                new_nodes = emb.nodes + (edge.src,)
+            else:
+                key = ("i", src_p, dst_p)
+                new_nodes = emb.nodes
+            table = out.setdefault(key, {})
+            table.setdefault(gid, set()).add(Embedding(new_nodes, idx))
 
 
 def child_pattern(pattern: TemporalPattern, key: ExtensionKey) -> TemporalPattern:
@@ -148,10 +249,15 @@ def child_pattern(pattern: TemporalPattern, key: ExtensionKey) -> TemporalPatter
 
 
 def cut_points(embeddings: EmbeddingTable) -> Iterable[tuple[int, int]]:
-    """Yield ``(graph id, last edge index)`` per embedding (with repeats)."""
+    """Yield ``(graph id, last edge index)`` per embedding (with repeats).
+
+    Rows are consumed positionally (``emb[1]``), which is both the fast
+    path for the tuple-of-int rows and agnostic to whether a row was
+    built by the kernel or the legacy extension.
+    """
     for gid, emb_set in embeddings.items():
         for emb in emb_set:
-            yield (gid, emb.last_index)
+            yield (gid, emb[1])
 
 
 def sort_extension_keys(keys: Iterable[ExtensionKey]) -> list[ExtensionKey]:

@@ -1,0 +1,242 @@
+"""Interned-label CSR graph kernel — the shared array-backed data plane.
+
+Every hot loop in this repo — embedding extension in the miner, the
+temporal index join in the query engine, delta evaluation in the
+streaming service — ultimately walks the same thing: a time-sorted edge
+list with node labels.  The object layer (:class:`~repro.core.graph.TemporalGraph`
+with per-edge :class:`~repro.core.graph.TemporalEdge` instances and
+string-keyed dict indexes) is the right *construction* interface, but a
+poor *scan* representation: each edge visit pays an object fetch plus
+attribute accesses, and each label comparison hashes a string.
+
+:class:`GraphKernel` flattens a frozen graph once into compact parallel
+arrays:
+
+* ``edge_src`` / ``edge_dst`` / ``edge_time`` — flat, time-sorted edge
+  columns (position ``i`` is edge index ``i``);
+* ``out_indptr``/``out_indices`` and ``in_indptr``/``in_indices`` — CSR
+  adjacency: the edge indexes leaving/entering node ``n`` are
+  ``indices[indptr[n]:indptr[n + 1]]``, ascending, so "incident edges
+  after cut point ``c``" is one :func:`~bisect.bisect_right` away;
+* ``node_label_ids`` — node labels interned to dense ints through a
+  :class:`LabelInterner`;
+* ``pair_ids`` — the one-edge substructure index re-keyed by interned
+  ``(src_label_id, dst_label_id)`` pairs (the CSR buckets the matcher
+  joins over; the bucket lists are shared with the owning graph's
+  string-keyed index, not copied);
+* ``suffix_label_ids`` — the residual node-label sets as frozensets of
+  interned ids.
+
+**Interning contract.**  Label ids are *per interner*, and an interner
+is per dataset (one mining run, one query engine, one stream) — never
+global.  Ids are assigned in first-encounter order, so they are
+deterministic for a fixed graph list but meaningless across datasets;
+persist labels, never ids.  Containment/equality results are identical
+to the string path because interning is a bijection within one interner.
+
+**Byte-identity contract.**  The kernel is a *view*: every consumer that
+switches from the object path to the kernel path (growth, matching,
+signatures, residual summaries) produces bit-identical results — same
+mined pattern sets, same match enumeration order, same spans and scores.
+``tests/test_kernel.py`` pins this with cross-implementation property
+tests against the retained legacy paths.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (graph imports us)
+    from repro.core.graph import TemporalGraph
+
+__all__ = ["LabelInterner", "GraphKernel", "EdgeArrays", "build_kernels"]
+
+#: What an *edge-indexed source* hands the array join: ``(base, src, dst,
+#: time)`` where position ``i - base`` of each flat column describes the
+#: edge with global id ``i``.  Frozen graphs use ``base == 0``; the
+#: streaming window's base is its compaction offset.
+EdgeArrays = tuple[int, Sequence[int], Sequence[int], Sequence[int]]
+
+
+class LabelInterner:
+    """Bijective ``label string <-> dense int id`` mapping for one dataset.
+
+    Ids are handed out in first-:meth:`intern` order, which makes them
+    deterministic for a fixed construction order (the parallel miner
+    relies on this: every worker re-interns the same graph list and gets
+    the same ids without shipping the interner).
+    """
+
+    __slots__ = ("_ids", "_labels")
+
+    def __init__(self) -> None:
+        self._ids: dict[str, int] = {}
+        self._labels: list[str] = []
+
+    def intern(self, label: str) -> int:
+        """Return the id of ``label``, assigning the next id if unseen."""
+        lid = self._ids.get(label)
+        if lid is None:
+            lid = len(self._labels)
+            self._ids[label] = lid
+            self._labels.append(label)
+        return lid
+
+    def id_of(self, label: str) -> int | None:
+        """Return the id of ``label`` or ``None`` without assigning one."""
+        return self._ids.get(label)
+
+    def label_of(self, lid: int) -> str:
+        """Return the label string carrying id ``lid``."""
+        return self._labels[lid]
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._ids
+
+
+class GraphKernel:
+    """Frozen array-backed view of one :class:`TemporalGraph`.
+
+    Built once per ``(graph, interner)`` pair via :meth:`from_graph`
+    (graphs cache their kernel — see :meth:`TemporalGraph.kernel`) and
+    read by every hot path afterwards.  All attributes are plain lists /
+    frozensets sharing storage with the owning graph where possible; the
+    kernel itself is immutable by convention.
+    """
+
+    __slots__ = (
+        "interner",
+        "num_nodes",
+        "num_edges",
+        "edge_src",
+        "edge_dst",
+        "edge_time",
+        "node_labels",
+        "node_label_ids",
+        "out_indptr",
+        "out_indices",
+        "in_indptr",
+        "in_indices",
+        "pair_ids",
+        "suffix_label_ids",
+    )
+
+    def __init__(
+        self,
+        interner: LabelInterner,
+        edge_src: list[int],
+        edge_dst: list[int],
+        edge_time: list[int],
+        node_labels: Sequence[str],
+        node_label_ids: list[int],
+        out_indptr: list[int],
+        out_indices: list[int],
+        in_indptr: list[int],
+        in_indices: list[int],
+        pair_ids: dict[tuple[int, int], Sequence[int]],
+        suffix_label_ids: list[frozenset[int]],
+    ) -> None:
+        self.interner = interner
+        self.num_nodes = len(node_label_ids)
+        self.num_edges = len(edge_src)
+        self.edge_src = edge_src
+        self.edge_dst = edge_dst
+        self.edge_time = edge_time
+        self.node_labels = node_labels
+        self.node_label_ids = node_label_ids
+        self.out_indptr = out_indptr
+        self.out_indices = out_indices
+        self.in_indptr = in_indptr
+        self.in_indices = in_indices
+        self.pair_ids = pair_ids
+        self.suffix_label_ids = suffix_label_ids
+
+    @classmethod
+    def from_graph(
+        cls, graph: "TemporalGraph", interner: LabelInterner | None = None
+    ) -> "GraphKernel":
+        """Flatten a frozen graph into a kernel bound to ``interner``.
+
+        Prefer :meth:`TemporalGraph.kernel`, which caches the result on
+        the graph; this constructor always builds fresh.
+        """
+        if not graph.frozen:
+            graph.freeze()
+        if interner is None:
+            interner = LabelInterner()
+        base, edge_src, edge_dst, edge_time = graph.edge_arrays()
+        assert base == 0, "frozen graphs index edges from zero"
+        labels = graph.labels
+        intern = interner.intern
+        node_label_ids = [intern(label) for label in labels]
+        out_indptr, out_indices = _csr(graph._out)
+        in_indptr, in_indices = _csr(graph._in)
+        pair_ids = {
+            (intern(src_label), intern(dst_label)): idxs
+            for (src_label, dst_label), idxs in graph.label_pair_index().items()
+        }
+        # suffix_label_ids[i] = interned labels of nodes touched by edges
+        # i..end — mirrors TemporalGraph._build_indexes exactly, so the
+        # id sets are the string sets under the interner bijection.
+        m = len(edge_src)
+        suffix: list[frozenset[int]] = [frozenset()] * (m + 1)
+        acc: set[int] = set()
+        for i in range(m - 1, -1, -1):
+            acc.add(node_label_ids[edge_src[i]])
+            acc.add(node_label_ids[edge_dst[i]])
+            suffix[i] = frozenset(acc)
+        return cls(
+            interner=interner,
+            edge_src=edge_src,
+            edge_dst=edge_dst,
+            edge_time=edge_time,
+            node_labels=labels,
+            node_label_ids=node_label_ids,
+            out_indptr=out_indptr,
+            out_indices=out_indices,
+            in_indptr=in_indptr,
+            in_indices=in_indices,
+            pair_ids=pair_ids,
+            suffix_label_ids=suffix,
+        )
+
+    # ------------------------------------------------------------------
+    def edge_arrays(self) -> EdgeArrays:
+        """The flat edge columns in the matcher's ``EdgeArrays`` shape."""
+        return (0, self.edge_src, self.edge_dst, self.edge_time)
+
+    def edges_between_ids(self, src_id: int, dst_id: int) -> Sequence[int]:
+        """Time-sorted edge indexes for an interned label pair."""
+        return self.pair_ids.get((src_id, dst_id), ())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GraphKernel(nodes={self.num_nodes}, edges={self.num_edges}, "
+            f"labels={len(self.interner)})"
+        )
+
+
+def _csr(adjacency: Sequence[Sequence[int]]) -> tuple[list[int], list[int]]:
+    """Flatten a list-of-lists adjacency into ``(indptr, indices)``."""
+    indptr = [0] * (len(adjacency) + 1)
+    indices: list[int] = []
+    extend = indices.extend
+    for node, row in enumerate(adjacency):
+        extend(row)
+        indptr[node + 1] = len(indices)
+    return indptr, indices
+
+
+def build_kernels(
+    graphs: Sequence["TemporalGraph"], interner: LabelInterner
+) -> list[GraphKernel]:
+    """Kernels for a graph *dataset*, all interned through ``interner``.
+
+    This is the per-dataset entry point the miner uses: one interner
+    spans positives and negatives so residual label-id sets union and
+    intersect correctly across graphs.
+    """
+    return [graph.kernel(interner) for graph in graphs]

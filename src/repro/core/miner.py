@@ -44,6 +44,7 @@ from typing import Sequence
 from repro.core.errors import MiningError
 from repro.core.graph import TemporalGraph
 from repro.core.graph_index import CandidateFilter, GraphIndexTester
+from repro.core.kernel import LabelInterner, build_kernels
 from repro.core.growth import (
     EmbeddingTable,
     child_pattern,
@@ -255,6 +256,13 @@ class _MiningRun:
         self.config = config
         self.positives = positives
         self.negatives = negatives
+        # The run's data plane: one interner spans positives and
+        # negatives so residual label-id sets union/intersect across
+        # graphs; kernels are built once per run (and hence once per
+        # pool worker — TemporalGraph never pickles its kernel cache).
+        self.interner = LabelInterner()
+        self.pos_kernels = build_kernels(positives, self.interner)
+        self.neg_kernels = build_kernels(negatives, self.interner)
         self.n_pos = len(positives)
         self.n_neg = max(len(negatives), 1)
         self.score_fn = resolve_score(config.score, self.n_pos, self.n_neg)
@@ -364,12 +372,14 @@ class _MiningRun:
             cut_points(pos_embs),
             keep_cut_pairs=self.keep_cut_pairs,
             with_labels=True,
+            kernels=self.pos_kernels,
         )
         neg_res = summarize_residuals(
             self.negatives,
             cut_points(neg_embs),
             keep_cut_pairs=self.keep_cut_pairs,
             with_labels=False,
+            kernels=self.neg_kernels,
         )
 
         branch_ub = score
@@ -404,8 +414,8 @@ class _MiningRun:
         pos_embs: EmbeddingTable,
         neg_embs: EmbeddingTable,
     ) -> float:
-        pos_ext = extend_embeddings(self.positives, pos_embs)
-        neg_ext = extend_embeddings(self.negatives, neg_embs)
+        pos_ext = extend_embeddings(self.positives, pos_embs, self.pos_kernels)
+        neg_ext = extend_embeddings(self.negatives, neg_embs, self.neg_kernels)
         min_count = self.config.min_pos_support * self.n_pos
         branch_ub = NEG_INF
         for key in sort_extension_keys(pos_ext):
@@ -439,12 +449,17 @@ class _MiningRun:
             if mapping is None:
                 continue
             mapped = set(mapping)
-            leftover_labels = {
-                entry.pattern.label(n)
-                for n in range(entry.num_nodes)
-                if n not in mapped
-            }
-            if leftover_labels & pos_res.label_set:
+            # residual label sets carry interned ids (the kernels'
+            # suffix sets); a pattern label the dataset never interned
+            # cannot occur in any residual graph, so unknown ids drop out
+            id_of = self.interner.id_of
+            leftover_ids = set()
+            for n in range(entry.num_nodes):
+                if n not in mapped:
+                    lid = id_of(entry.pattern.label(n))
+                    if lid is not None:
+                        leftover_ids.add(lid)
+            if leftover_ids & pos_res.label_set:
                 continue
             return entry.branch_upper_bound
         return None

@@ -16,8 +16,13 @@ exploits this to shard the search:
   built once from the training graphs (pickled under the ``spawn`` start
   method, inherited copy-on-write under ``fork``) — its
   :class:`~repro.core.graph_index.CandidateFilter` and subgraph-tester
-  signature caches persist across all the seeds that worker mines — and
-  every task seed is explored with a *fresh* pruning history
+  signature caches persist across all the seeds that worker mines, and
+  so do its interned-label CSR kernels
+  (:mod:`repro.core.kernel`), which the run constructor *rebuilds* in
+  the worker process: :class:`~repro.core.graph.TemporalGraph` drops its
+  kernel cache on pickling, so kernels are never shipped, only derived
+  locally from the (shared or unpickled) graphs — and every task seed is
+  explored with a *fresh* pruning history
   (:meth:`~repro.core.miner._MiningRun.reset`);
 * the parent merges per-seed results deterministically in sorted seed
   order (:func:`merge_seed_results`), re-applying the serial miner's

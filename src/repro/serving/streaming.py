@@ -2,9 +2,11 @@
 
 :class:`StreamingGraph` is the serving-side counterpart of the frozen
 :class:`~repro.core.graph.TemporalGraph`: instead of building the one-edge
-label-pair index and the label signature once at freeze time, it maintains
-both *online* while syscall events arrive in batches and old edges slide
-out of the time window.
+label-pair index, the label signature, and the flat kernel edge columns
+(:meth:`StreamingGraph.edge_arrays` — the streaming twin of the batch
+graph's :mod:`repro.core.kernel` arrays) once at freeze time, it maintains
+all of them *online* while syscall events arrive in batches and old edges
+slide out of the time window.
 
 Edge identity is the key design point.  Every ingested edge receives a
 monotonically increasing **global id** — its position in the ingest order,
@@ -132,8 +134,14 @@ class StreamingGraph:
         self.name = name
         self.stats = StreamStats()
         # edge store: _store[i] has global id _base + i; entries below
-        # _first_live are evicted (kept until amortized compaction)
+        # _first_live are evicted (kept until amortized compaction).
+        # _srcs/_dsts/_times are the incrementally maintained kernel: the
+        # flat edge columns the shared matcher joins over (see
+        # repro.core.kernel.EdgeArrays), kept parallel to _store through
+        # every append / tail pop / compaction.
         self._store: list[TemporalEdge] = []
+        self._srcs: list[int] = []
+        self._dsts: list[int] = []
         self._times: list[int] = []
         self._base = 0
         self._first_live = 0
@@ -173,6 +181,17 @@ class StreamingGraph:
         the :class:`~repro.serving.service.DetectionService` always does.
         """
         return self._pair.get((src_label, dst_label), ())
+
+    def edge_arrays(self) -> tuple[int, Sequence[int], Sequence[int], Sequence[int]]:
+        """The live window's kernel: flat ``(base, src, dst, time)`` columns.
+
+        Position ``id - base`` of each column describes the edge with
+        global id ``id`` — exactly what the array join in
+        :func:`repro.core.graph_index.find_matches` consumes.  The
+        columns are the maintained-in-place lists, so the returned view
+        is only valid until the next :meth:`ingest`.
+        """
+        return (self._base, self._srcs, self._dsts, self._times)
 
     # ------------------------------------------------------------------
     # window accessors
@@ -343,6 +362,8 @@ class StreamingGraph:
         self._node_refs[src] += 1
         self._node_refs[dst] += 1
         self._store.append(TemporalEdge(src, dst, time))
+        self._srcs.append(src)
+        self._dsts.append(dst)
         self._times.append(time)
         pair = (src_label, dst_label)
         self._pair.setdefault(pair, []).append(self._next_id)
@@ -388,6 +409,8 @@ class StreamingGraph:
             evicted += 1
         if self._first_live * 2 > len(self._store) and self._first_live:
             del self._store[: self._first_live]
+            del self._srcs[: self._first_live]
+            del self._dsts[: self._first_live]
             del self._times[: self._first_live]
             self._base += self._first_live
             self._first_live = 0
@@ -421,6 +444,8 @@ class StreamingGraph:
             self._release_node(edge.src)
             self._release_node(edge.dst)
         del self._store[cut:]
+        del self._srcs[cut:]
+        del self._dsts[cut:]
         del self._times[cut:]
         self._next_id = self._base + len(self._store)
         popped.reverse()

@@ -107,6 +107,66 @@ class TestWorkers:
         assert serial_out.split("\n\n", 1)[1] == cpu_out.split("\n\n", 1)[1]
 
 
+class TestProfile:
+    def test_mine_profile_prints_hotspots(self, corpus, capsys):
+        assert (
+            main(
+                [
+                    "mine",
+                    "--train",
+                    str(corpus),
+                    "--behavior",
+                    "gzip-decompress",
+                    "--max-edges",
+                    "3",
+                    "--profile",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        # normal mining report first, then the profile table
+        assert "best score" in out
+        assert "cProfile: top 20 by cumulative time" in out
+        assert "cumtime" in out
+
+    def test_detect_profile_prints_hotspots(self, corpus, tmp_path, capsys):
+        queries = tmp_path / "profile-queries.jsonl"
+        assert (
+            main(
+                [
+                    "mine",
+                    "--train",
+                    str(corpus),
+                    "--behavior",
+                    "gzip-decompress",
+                    "--max-edges",
+                    "3",
+                    "--save-queries",
+                    str(queries),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "detect",
+                    "--queries",
+                    str(queries),
+                    "--instances",
+                    "2",
+                    "--profile",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "detections:" in out
+        assert "cProfile: top 20 by cumulative time" in out
+
+
 class TestDetect:
     def test_mine_save_queries_then_detect(self, corpus, tmp_path, capsys):
         queries = tmp_path / "queries.jsonl"

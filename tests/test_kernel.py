@@ -1,0 +1,415 @@
+"""Cross-implementation property tests for the interned-label CSR kernel.
+
+The kernel layer (:mod:`repro.core.kernel`) is a pure *view*: every hot
+path that switched from the object representation to the flat arrays —
+embedding extension, the temporal index join, residual summaries,
+signature pretests — must produce results **exactly equal** to the
+retained legacy paths.  These tests pin that contract on random temporal
+graphs so any divergence introduced later fails loudly.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.core.errors import GraphError
+from repro.core.graph import TemporalGraph
+from repro.core.graph_index import (
+    CandidateFilter,
+    find_matches,
+    graph_signature,
+    pattern_signature,
+    signature_contains,
+)
+from repro.core.growth import cut_points, extend_embeddings, seed_patterns
+from repro.core.kernel import GraphKernel, LabelInterner, build_kernels
+from repro.core.residual import summarize_residuals
+from repro.core.sequence import encode
+from repro.serving.streaming import StreamingGraph
+from repro.syscall.events import SyscallEvent
+
+from conftest import random_embedded_pattern, random_temporal_graph
+
+
+def random_corpus(rng, count=6, n_nodes=8, n_edges=18, alphabet="ABCD"):
+    return [
+        random_temporal_graph(
+            rng, n_nodes=n_nodes, n_edges=n_edges, alphabet=alphabet
+        )
+        for _ in range(count)
+    ]
+
+
+# ----------------------------------------------------------------------
+# interner / kernel basics
+# ----------------------------------------------------------------------
+class TestLabelInterner:
+    def test_round_trip_and_determinism(self):
+        interner = LabelInterner()
+        ids = [interner.intern(label) for label in ("b", "a", "b", "c")]
+        assert ids == [0, 1, 0, 2]
+        assert interner.label_of(2) == "c"
+        assert interner.id_of("a") == 1
+        assert interner.id_of("missing") is None
+        assert "a" in interner and "missing" not in interner
+        assert len(interner) == 3
+
+    def test_separate_interners_assign_independently(self):
+        left, right = LabelInterner(), LabelInterner()
+        left.intern("x")
+        assert right.id_of("x") is None
+
+
+class TestGraphKernel:
+    def test_arrays_mirror_edges(self):
+        rng = random.Random(7)
+        graph = random_temporal_graph(rng, n_nodes=10, n_edges=25)
+        kernel = graph.kernel()
+        base, srcs, dsts, times = graph.edge_arrays()
+        assert base == 0
+        for idx, edge in enumerate(graph.edges):
+            assert (srcs[idx], dsts[idx], times[idx]) == (
+                edge.src,
+                edge.dst,
+                edge.time,
+            )
+        # CSR rows reproduce the per-node adjacency in ascending order
+        for node in range(graph.num_nodes):
+            out_row = kernel.out_indices[
+                kernel.out_indptr[node] : kernel.out_indptr[node + 1]
+            ]
+            assert out_row == [
+                i for i, e in enumerate(graph.edges) if e.src == node
+            ]
+            in_row = kernel.in_indices[
+                kernel.in_indptr[node] : kernel.in_indptr[node + 1]
+            ]
+            assert in_row == [
+                i for i, e in enumerate(graph.edges) if e.dst == node
+            ]
+
+    def test_pair_buckets_share_graph_index_lists(self):
+        rng = random.Random(11)
+        graph = random_temporal_graph(rng)
+        kernel = graph.kernel()
+        interner = kernel.interner
+        for (src_label, dst_label), idxs in graph.label_pair_index().items():
+            bucket = kernel.edges_between_ids(
+                interner.id_of(src_label), interner.id_of(dst_label)
+            )
+            assert bucket is idxs  # shared storage, not a copy
+
+    def test_suffix_label_ids_match_string_sets(self):
+        rng = random.Random(13)
+        graph = random_temporal_graph(rng)
+        kernel = graph.kernel()
+        for i in range(graph.num_edges + 1):
+            as_strings = {
+                kernel.interner.label_of(lid)
+                for lid in kernel.suffix_label_ids[i]
+            }
+            assert as_strings == set(graph.suffix_label_set(i))
+
+    def test_kernel_cached_and_rebound_on_new_interner(self):
+        rng = random.Random(17)
+        graph = random_temporal_graph(rng)
+        first = graph.kernel()
+        assert graph.kernel() is first
+        shared = LabelInterner()
+        rebound = graph.kernel(shared)
+        assert rebound is not first and rebound.interner is shared
+        assert graph.kernel() is rebound  # cache follows the latest bind
+
+    def test_kernel_requires_frozen_graph(self):
+        graph = TemporalGraph()
+        graph.add_node("A")
+        graph.add_node("B")
+        graph.add_edge(0, 1)
+        with pytest.raises(GraphError):
+            graph.kernel()
+        with pytest.raises(GraphError):
+            graph.edge_arrays()
+
+    def test_pickle_drops_kernel_and_array_caches(self):
+        rng = random.Random(19)
+        graph = random_temporal_graph(rng)
+        graph.kernel()
+        graph.edge_arrays()
+        clone = pickle.loads(pickle.dumps(graph))
+        assert clone._kernel is None and clone._edge_srcs is None
+        # the rebuilt kernel is equivalent
+        rebuilt = clone.kernel()
+        assert rebuilt.edge_src == graph.kernel().edge_src
+        assert rebuilt.node_label_ids == graph.kernel().node_label_ids
+
+
+# ----------------------------------------------------------------------
+# growth: kernel path == legacy scan path
+# ----------------------------------------------------------------------
+class TestExtendEmbeddingsEquivalence:
+    def grow_levels(self, corpus, kernels, levels=3, seed_cap=12, fan=6):
+        """Walk several growth generations comparing both paths each step."""
+        seeds = seed_patterns(corpus, use_index=True)
+        frontier = [seeds[key] for key in sorted(seeds)[:seed_cap]]
+        for _ in range(levels):
+            nxt = []
+            for table in frontier:
+                legacy = extend_embeddings(corpus, table, use_kernel=False)
+                fast = extend_embeddings(corpus, table, kernels)
+                assert fast == legacy
+                auto = extend_embeddings(corpus, table)  # cached kernels
+                assert auto == legacy
+                for key in sorted(fast)[:fan]:
+                    nxt.append(fast[key])
+            if not nxt:
+                break
+            frontier = nxt[:fan]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_corpora(self, seed):
+        rng = random.Random(seed)
+        corpus = random_corpus(rng)
+        kernels = build_kernels(corpus, LabelInterner())
+        self.grow_levels(corpus, kernels)
+
+    def test_multi_edges_and_hubs(self):
+        # a hub-heavy graph with repeated label pairs and parallel edges
+        graph = TemporalGraph()
+        hub = graph.add_node("H")
+        others = [graph.add_node(label) for label in "AABBC"]
+        t = 0
+        rng = random.Random(5)
+        for _ in range(30):
+            other = rng.choice(others)
+            if rng.random() < 0.5:
+                graph.add_edge(hub, other, t)
+            else:
+                graph.add_edge(other, hub, t)
+            t += 1
+        corpus = [graph.freeze()]
+        kernels = build_kernels(corpus, LabelInterner())
+        self.grow_levels(corpus, kernels)
+
+    def test_rows_equal_across_paths_and_fields_accessible(self):
+        rng = random.Random(23)
+        corpus = random_corpus(rng, count=2)
+        seeds = seed_patterns(corpus)
+        key = sorted(seeds)[0]
+        fast = extend_embeddings(corpus, seeds[key])
+        legacy = extend_embeddings(corpus, seeds[key], use_kernel=False)
+        assert fast == legacy
+        for table in fast.values():
+            for rows in table.values():
+                for row in rows:
+                    # kernel rows stay Embedding instances (built through
+                    # tuple.__new__) — named access keeps working
+                    assert row.nodes == row[0]
+                    assert row.last_index == row[1]
+
+
+# ----------------------------------------------------------------------
+# matching: array join == object join
+# ----------------------------------------------------------------------
+class TestFindMatchesEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5])
+    def test_random_graphs_exact_sequence(self, seed):
+        rng = random.Random(seed)
+        graph = random_temporal_graph(rng, n_nodes=8, n_edges=24, alphabet="ABC")
+        for _ in range(6):
+            pattern = random_embedded_pattern(rng, graph)
+            for max_span in (None, 3, 8):
+                for limit in (None, 2):
+                    legacy = list(
+                        find_matches(
+                            pattern,
+                            graph,
+                            max_span=max_span,
+                            limit=limit,
+                            use_kernel=False,
+                        )
+                    )
+                    fast = list(
+                        find_matches(pattern, graph, max_span=max_span, limit=limit)
+                    )
+                    assert fast == legacy  # same matches, same order
+                    if max_span is None:
+                        # the pattern was extracted from the graph, so the
+                        # uncapped search must find it
+                        assert legacy, "workload degenerate: no matches"
+
+    def test_start_and_min_last_index(self):
+        rng = random.Random(31)
+        graph = random_temporal_graph(rng, n_nodes=8, n_edges=24)
+        pattern = random_embedded_pattern(rng, graph, max_edges=2)
+        for start in (0, 5, 12):
+            for floor in (0, 8, 20):
+                legacy = list(
+                    find_matches(
+                        pattern,
+                        graph,
+                        start_index=start,
+                        min_last_index=floor,
+                        use_kernel=False,
+                    )
+                )
+                fast = list(
+                    find_matches(
+                        pattern, graph, start_index=start, min_last_index=floor
+                    )
+                )
+                assert fast == legacy
+
+
+# ----------------------------------------------------------------------
+# streaming: incrementally maintained kernel columns
+# ----------------------------------------------------------------------
+class TestStreamingKernel:
+    @staticmethod
+    def event(time, src_key, src_label, dst_key, dst_label):
+        return SyscallEvent(
+            time=time,
+            syscall="op",
+            src_key=src_key,
+            src_label=src_label,
+            dst_key=dst_key,
+            dst_label=dst_label,
+        )
+
+    def random_stream(self, rng, count=120):
+        keys = [(f"k{i}", rng.choice("ABCD")) for i in range(10)]
+        events = []
+        for t in range(count):
+            (sk, sl), (dk, dl) = rng.sample(keys, 2)
+            events.append(self.event(t, sk, sl, dk, dl))
+        return events
+
+    def assert_columns_match_store(self, graph):
+        base, srcs, dsts, times = graph.edge_arrays()
+        assert base == graph._base
+        assert len(srcs) == len(dsts) == len(times) == len(graph._store)
+        for offset, edge in enumerate(graph._store):
+            assert (srcs[offset], dsts[offset], times[offset]) == (
+                edge.src,
+                edge.dst,
+                edge.time,
+            )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_columns_survive_ingest_evict_and_ooo(self, seed):
+        rng = random.Random(seed)
+        events = self.random_stream(rng)
+        graph = StreamingGraph(window_span=30)
+        # shuffle batch boundaries and inject mild out-of-order arrival
+        pos = 0
+        while pos < len(events):
+            size = rng.randrange(1, 20)
+            batch = events[pos : pos + size]
+            rng.shuffle(batch)
+            graph.ingest(batch)
+            self.assert_columns_match_store(graph)
+            pos += size
+
+    def test_streaming_join_uses_columns(self):
+        rng = random.Random(9)
+        events = self.random_stream(rng)
+        graph = StreamingGraph(window_span=1000)
+        graph.ingest(events)
+        batch = graph.as_temporal_graph()
+        pattern = random_embedded_pattern(rng, batch)
+        live = {
+            (graph.edges[m.edge_indexes[0]].time, graph.edges[m.edge_indexes[-1]].time)
+            for m in find_matches(pattern, graph, max_span=50)
+        }
+        frozen = {
+            (batch.edges[m.edge_indexes[0]].time, batch.edges[m.edge_indexes[-1]].time)
+            for m in find_matches(pattern, batch, max_span=50)
+        }
+        assert live == frozen
+
+
+# ----------------------------------------------------------------------
+# residual summaries and signatures over interned ids
+# ----------------------------------------------------------------------
+class TestResidualAndSignatureEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_summaries_match_legacy(self, seed):
+        rng = random.Random(seed)
+        corpus = random_corpus(rng)
+        interner = LabelInterner()
+        kernels = build_kernels(corpus, interner)
+        seeds = seed_patterns(corpus)
+        for key in sorted(seeds)[:10]:
+            table = seeds[key]
+            for keep in (False, True):
+                legacy = summarize_residuals(
+                    corpus, cut_points(table), keep_cut_pairs=keep
+                )
+                fast = summarize_residuals(
+                    corpus, cut_points(table), keep_cut_pairs=keep, kernels=kernels
+                )
+                assert fast.i_value == legacy.i_value
+                assert fast.cut_pairs == legacy.cut_pairs
+                assert {
+                    interner.label_of(lid) for lid in fast.label_set
+                } == set(legacy.label_set)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_filter_pretests_match_string_signatures(self, seed):
+        rng = random.Random(seed)
+        graphs = random_corpus(rng, count=3)
+        patterns = [
+            random_embedded_pattern(rng, graph)
+            for graph in graphs
+            for _ in range(4)
+        ]
+        filt = CandidateFilter()
+        for small in patterns:
+            for big in patterns:
+                expected = signature_contains(
+                    pattern_signature(big), pattern_signature(small)
+                )
+                assert filt.pattern_vs_pattern(small, big) is expected
+            for graph in graphs:
+                expected = signature_contains(
+                    graph_signature(graph), pattern_signature(small)
+                )
+                assert filt.pattern_vs_graph(small, graph) is expected
+
+    def test_sequence_encoding_id_projections(self):
+        rng = random.Random(41)
+        graph = random_temporal_graph(rng)
+        pattern = random_embedded_pattern(rng, graph)
+        enc = encode(pattern)
+        assert len(enc.node_label_ids) == len(enc.node_labels)
+        assert len(enc.enh_label_ids) == len(enc.enh_labels)
+        # id equality must mirror string equality position by position
+        for seq_ids, seq_labels in (
+            (enc.node_label_ids, enc.node_labels),
+            (enc.enh_label_ids, enc.enh_labels),
+            (enc.edge_label_pair_ids, enc.edge_label_pairs),
+        ):
+            for i in range(len(seq_ids)):
+                for j in range(len(seq_ids)):
+                    assert (seq_ids[i] == seq_ids[j]) == (
+                        seq_labels[i] == seq_labels[j]
+                    )
+
+
+# ----------------------------------------------------------------------
+# miner end-to-end sanity: kernels never change the mined outcome
+# ----------------------------------------------------------------------
+class TestMinerUsesSharedInterner:
+    def test_mining_runs_share_one_interner_across_graph_sets(self):
+        from repro.core.miner import MinerConfig, _MiningRun
+
+        rng = random.Random(3)
+        positives = random_corpus(rng, count=3)
+        negatives = random_corpus(rng, count=3)
+        run = _MiningRun(MinerConfig(max_edges=3), positives, negatives)
+        assert all(k.interner is run.interner for k in run.pos_kernels)
+        assert all(k.interner is run.interner for k in run.neg_kernels)
+        # every label of every graph is interned
+        for graph in list(positives) + list(negatives):
+            for label in graph.labels:
+                assert run.interner.id_of(label) is not None
