@@ -1,39 +1,39 @@
-"""Quickstart: mine a discriminative temporal pattern in ~30 lines.
+"""Quickstart: mine a behavior model with the SDK in ~30 lines.
 
-Builds a tiny training corpus with the syscall simulator, runs TGMiner
-on one behavior against the background, and prints the top behavior
+Uses the :class:`repro.api.Workspace` facade — the same entry point the
+CLI wraps — to build a tiny training corpus, mine one behavior into a
+versioned :class:`repro.api.BehaviorModel`, and print the top behavior
 query.  Run with::
 
     python examples/quickstart.py
 """
 
-from repro import MinerConfig, TGMiner
-from repro.core.ranking import InterestModel, rank_patterns
-from repro.syscall import build_training_data
+from repro import MinerConfig, Workspace
 
 
 def main() -> None:
+    ws = Workspace(seed=7)
+
     # 1. Collect training data: 10 closed-environment runs per behavior
     #    plus 30 behavior-free background graphs (paper Section 6.1).
-    train = build_training_data(instances_per_behavior=10, background_graphs=30)
+    train = ws.generate(instances_per_behavior=10, background_graphs=30)
 
-    # 2. Mine the most discriminative temporal patterns for sshd-login.
-    positives = train.behavior("sshd-login")
-    result = TGMiner(MinerConfig(max_edges=6, min_pos_support=0.7)).mine(
-        positives, train.background
-    )
+    # 2. Mine the most discriminative temporal patterns for sshd-login
+    #    into a model artifact (ranked queries + span cap + provenance).
+    config = MinerConfig(max_edges=6, min_pos_support=0.7)
+    model = ws.mine(train, behaviors=["sshd-login"], config=config, top_k=3)
+    record = model.record("sshd-login")
     print(
-        f"explored {result.stats.patterns_explored} patterns in "
-        f"{result.stats.elapsed_seconds:.2f}s; best score {result.best_score:.2f}; "
-        f"{len(result.best)} co-optimal patterns"
+        f"explored {record.patterns_explored} patterns in "
+        f"{record.elapsed_seconds:.2f}s; best score {record.best_score:.2f}; "
+        f"{record.co_optimal} co-optimal patterns"
     )
 
-    # 3. Rank co-optimal patterns by domain knowledge (Appendix M) and
-    #    take the top one as the behavior query skeleton.
-    model = InterestModel.fit(train.all_graphs())
-    top = rank_patterns(result.best, model)[0]
+    # 3. The top-ranked pattern (Appendix-M interest ranking) is the
+    #    behavior query skeleton; model.save("sshd.tgm") would persist
+    #    the whole bundle for `repro detect --model sshd.tgm`.
     print("\nTop behavior query for sshd-login:")
-    print(top.pattern.describe())
+    print(record.patterns[0].pattern.describe())
 
 
 if __name__ == "__main__":

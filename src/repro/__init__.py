@@ -1,7 +1,7 @@
 """repro — reproduction of "Behavior Query Discovery in System-Generated
 Temporal Graphs" (Zong et al., VLDB 2015).
 
-The package ships four layers:
+The package ships five layers:
 
 * :mod:`repro.core` — temporal graphs/patterns and the TGMiner
   discriminative pattern miner with all pruning machinery;
@@ -9,20 +9,43 @@ The package ships four layers:
   paper's instrumented servers (training/test data generation);
 * :mod:`repro.query` — behavior-query search over monitoring graphs and
   precision/recall evaluation;
-* :mod:`repro.baselines` — the Ntemp (non-temporal gSpan-style) and
-  NodeSet (discriminative keyword) accuracy baselines.
+* :mod:`repro.serving` — the streaming half: a sliding-window
+  :class:`~repro.serving.streaming.StreamingGraph`, the multi-query
+  :class:`~repro.serving.registry.QueryRegistry`, and the
+  :class:`~repro.serving.service.DetectionService` facade;
+* :mod:`repro.api` — the stable SDK tying them together:
+  :class:`~repro.api.workspace.Workspace` (generate → mine → query →
+  serve) and :class:`~repro.api.model.BehaviorModel`, the versioned
+  artifact bundle a mining process saves and a serving process loads.
+
+(:mod:`repro.baselines` adds the paper's Ntemp and NodeSet accuracy
+baselines; :mod:`repro.experiments` the benchmark harness.)
 
 Quickstart::
 
-    from repro import TGMiner, MinerConfig
-    from repro.syscall import build_training_data
+    from repro import Workspace
 
-    data = build_training_data(seed=7)
-    sshd = data.behavior("sshd-login")
-    result = TGMiner(MinerConfig(max_edges=6)).mine(sshd, data.background)
-    print(result.best[0].pattern.describe())
+    ws = Workspace(seed=7)
+    train = ws.generate(instances_per_behavior=10, background_graphs=30)
+    model = ws.mine(train, behaviors=["sshd-login"], top_k=3)
+    print(model.describe())
+
+    model.save("sshd.tgm")          # one deployable artifact ...
+    service = ws.serve(model)       # ... served in any process
+    for batch in event_batches:
+        for detection in service.ingest(batch):
+            print(detection.query, detection.span)
 """
 
+from repro._version import __version__
+from repro.api import (
+    ArtifactError,
+    BehaviorEvaluation,
+    BehaviorModel,
+    BehaviorRecord,
+    EvaluationReport,
+    Workspace,
+)
 from repro.core import (
     GTest,
     InformationGain,
@@ -31,6 +54,7 @@ from repro.core import (
     MinerConfig,
     MiningResult,
     MiningStats,
+    ReproError,
     ScoreFunction,
     TemporalEdge,
     TemporalGraph,
@@ -38,10 +62,17 @@ from repro.core import (
     TGMiner,
     miner_variant,
 )
-
-__version__ = "1.0.0"
+from repro.query import QueryEngine
+from repro.serving import (
+    BehaviorQuery,
+    Detection,
+    DetectionService,
+    QueryRegistry,
+    StreamingGraph,
+)
 
 __all__ = [
+    # data model + mining core
     "TemporalEdge",
     "TemporalGraph",
     "TemporalPattern",
@@ -55,5 +86,22 @@ __all__ = [
     "LogRatio",
     "GTest",
     "InformationGain",
+    # batch query side
+    "QueryEngine",
+    # serving layer
+    "BehaviorQuery",
+    "Detection",
+    "DetectionService",
+    "QueryRegistry",
+    "StreamingGraph",
+    # SDK (repro.api)
+    "Workspace",
+    "BehaviorModel",
+    "BehaviorRecord",
+    "BehaviorEvaluation",
+    "EvaluationReport",
+    # errors + metadata
+    "ReproError",
+    "ArtifactError",
     "__version__",
 ]

@@ -1,0 +1,22 @@
+"""Single-source library version.
+
+The canonical version lives in ``pyproject.toml``; installed copies read
+it back through :mod:`importlib.metadata`.  Source-tree use
+(``PYTHONPATH=src`` without an install) has no distribution metadata, so
+a fallback constant — kept in lockstep with ``pyproject.toml`` — covers
+that case.  Everything else (``repro.__version__``, the CLI ``--version``
+flag, model-bundle provenance) imports from here.
+"""
+
+from __future__ import annotations
+
+from importlib.metadata import PackageNotFoundError, version as _dist_version
+
+#: Fallback for source-tree runs; must match ``project.version`` in
+#: ``pyproject.toml``.
+_FALLBACK_VERSION = "1.0.0"
+
+try:
+    __version__ = _dist_version("repro")
+except PackageNotFoundError:  # not installed — running from the source tree
+    __version__ = _FALLBACK_VERSION

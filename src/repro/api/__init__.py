@@ -1,0 +1,35 @@
+"""``repro.api`` — the stable SDK surface of the reproduction.
+
+Two names carry the whole train-offline/serve-online story:
+
+* :class:`Workspace` — the pipeline facade: ``generate`` training/test
+  data, ``mine`` behaviors into a model, ``query`` a monitoring graph in
+  batch, ``serve`` an event stream;
+* :class:`BehaviorModel` — the versioned, self-describing artifact
+  bundle (directory or ``.tgm`` zip) a mining process saves and a
+  serving process loads, with byte-identical round-trips and a schema
+  version gate (:class:`ArtifactError` on incompatible bundles).
+
+The CLI, the examples, and the docs all build on this module; anything
+not importable from here (or the documented subpackages) is an internal.
+"""
+
+from repro.api.model import (
+    BUNDLE_SUFFIX,
+    SCHEMA_VERSION,
+    BehaviorModel,
+    BehaviorRecord,
+)
+from repro.api.workspace import BehaviorEvaluation, EvaluationReport, Workspace
+from repro.core.errors import ArtifactError
+
+__all__ = [
+    "ArtifactError",
+    "BUNDLE_SUFFIX",
+    "BehaviorEvaluation",
+    "BehaviorModel",
+    "BehaviorRecord",
+    "EvaluationReport",
+    "SCHEMA_VERSION",
+    "Workspace",
+]

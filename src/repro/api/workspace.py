@@ -1,0 +1,308 @@
+"""The :class:`Workspace` facade — one stable entry point for the pipeline.
+
+The paper's deployment story is *train offline, serve online*:
+formulate behavior queries from closed-environment training runs, then
+run them continuously against monitoring data.  :class:`Workspace` is
+the SDK surface for that whole loop — the CLI, the examples, and the
+tests all go through it::
+
+    from repro.api import Workspace
+
+    ws = Workspace(seed=7)
+    train = ws.generate(instances_per_behavior=10, background_graphs=30)
+    model = ws.mine(train, behaviors=["sshd-login"], top_k=3)
+    model.save("sshd.tgm")                       # one deployable artifact
+
+    # ... later, in a different process ...
+    model = BehaviorModel.load("sshd.tgm")
+    report = ws.query(model, ws.generate_test(instances=24))   # batch
+    service = ws.serve(model)                                  # streaming
+    detections = service.ingest(event_batch)
+
+Batch and streaming share one matching core, so ``query`` over a frozen
+log and ``serve`` over the same log replayed as a stream report
+span-identical detections (asserted by ``tests/test_api.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.api.model import BehaviorModel, BehaviorRecord
+from repro.core.graph import TemporalGraph
+from repro.core.kernel import LabelInterner
+from repro.core.miner import MinerConfig
+from repro.core.ranking import InterestModel, rank_patterns
+from repro.datasets.io import load_corpus, save_corpus
+from repro.experiments.harness import (
+    DEFAULT_SPAN_SLACK,
+    mine_all_behaviors,
+    span_cap,
+)
+from repro.query.engine import QueryEngine
+from repro.query.evaluation import PrecisionRecall, evaluate_spans, pool_spans
+from repro.serving.service import DetectionService
+from repro.syscall.collector import (
+    TestData,
+    TrainingData,
+    build_test_data,
+    build_training_data,
+)
+
+__all__ = ["Workspace", "EvaluationReport", "BehaviorEvaluation"]
+
+Span = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class BehaviorEvaluation:
+    """One behavior's batch-query outcome: pooled spans (+ accuracy)."""
+
+    behavior: str
+    spans: tuple[Span, ...]
+    accuracy: PrecisionRecall | None
+
+    def as_dict(self) -> dict:
+        """JSON-compatible form."""
+        return {
+            "behavior": self.behavior,
+            "spans": [list(span) for span in self.spans],
+            "accuracy": self.accuracy.as_dict() if self.accuracy else None,
+        }
+
+
+@dataclass(frozen=True)
+class EvaluationReport:
+    """Outcome of :meth:`Workspace.query` over every requested behavior."""
+
+    behaviors: dict[str, BehaviorEvaluation]
+
+    @property
+    def identified(self) -> int:
+        """Total identified instances (distinct spans) across behaviors."""
+        return sum(len(ev.spans) for ev in self.behaviors.values())
+
+    def describe(self) -> str:
+        """Human-readable per-behavior table."""
+        lines = []
+        for ev in self.behaviors.values():
+            if ev.accuracy is not None:
+                lines.append(ev.accuracy.as_row())
+            else:
+                lines.append(f"{ev.behavior:20s} identified={len(ev.spans)}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """JSON-compatible form."""
+        return {name: ev.as_dict() for name, ev in self.behaviors.items()}
+
+
+class Workspace:
+    """Facade over generate → mine → query → serve (see module doc).
+
+    Parameters
+    ----------
+    seed:
+        Default RNG seed for :meth:`generate` / :meth:`generate_test`.
+    workers:
+        Default behavior-level fan-out for :meth:`mine`.
+    """
+
+    def __init__(self, seed: int = 7, workers: int = 1) -> None:
+        self.seed = seed
+        self.workers = workers
+
+    # ------------------------------------------------------------------
+    # data
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        instances_per_behavior: int = 10,
+        background_graphs: int = 30,
+        behaviors: Sequence[str] | None = None,
+        seed: int | None = None,
+    ) -> TrainingData:
+        """Build a closed-environment training corpus (paper Section 6.1)."""
+        overrides: dict = {
+            "instances_per_behavior": instances_per_behavior,
+            "background_graphs": background_graphs,
+            "seed": self.seed if seed is None else seed,
+        }
+        if behaviors is not None:
+            overrides["behaviors"] = tuple(behaviors)
+        return build_training_data(**overrides)
+
+    def generate_test(
+        self,
+        instances: int = 24,
+        behaviors: Sequence[str] | None = None,
+        seed: int | None = None,
+    ) -> TestData:
+        """Build a busy-host test log with ground-truth intervals."""
+        overrides: dict = {
+            "instances": instances,
+            "seed": self.seed if seed is None else seed,
+        }
+        if behaviors is not None:
+            overrides["behaviors"] = tuple(behaviors)
+        return build_test_data(**overrides)
+
+    def save_corpus(self, train: TrainingData, root: str | Path) -> int:
+        """Persist a corpus as a jsonl directory; returns graphs written."""
+        return save_corpus(train, root)
+
+    def load_corpus(
+        self, root: str | Path, behaviors: Sequence[str] | None = None
+    ) -> TrainingData:
+        """Load a corpus directory (optionally one behavior subset)."""
+        return load_corpus(root, behaviors)
+
+    # ------------------------------------------------------------------
+    # offline: mining a model
+    # ------------------------------------------------------------------
+    def mine(
+        self,
+        train: TrainingData,
+        behaviors: Sequence[str] | None = None,
+        config: MinerConfig | None = None,
+        workers: int | None = None,
+        seed_workers: int = 1,
+        top_k: int = 5,
+        slack: float = DEFAULT_SPAN_SLACK,
+    ) -> BehaviorModel:
+        """Mine behavior queries into one versioned :class:`BehaviorModel`.
+
+        Delegates to
+        :func:`~repro.experiments.harness.mine_all_behaviors`:
+        ``workers`` fans whole behaviors out across processes,
+        ``seed_workers`` shards each behavior's seed search via
+        :class:`~repro.core.parallel.ParallelMiner` (both byte-identical
+        to the serial miner; they do not compose).  Each behavior's
+        co-optimal patterns are ranked by the Appendix-M interest model
+        and the top ``top_k`` become the behavior's queries, capped at
+        the behavior's observed lifetime dilated by ``slack``.
+        """
+        names = (
+            list(behaviors) if behaviors is not None else list(train.config.behaviors)
+        )
+        config = config or MinerConfig()
+        effective_workers = self.workers if workers is None else workers
+        results = mine_all_behaviors(
+            train,
+            names,
+            config,
+            workers=effective_workers,
+            seed_workers=seed_workers,
+        )
+        interest = InterestModel.fit(train.all_graphs())
+        records: dict[str, BehaviorRecord] = {}
+        for name, result in results.items():
+            ranked = rank_patterns(result.best, interest)[:top_k]
+            records[name] = BehaviorRecord(
+                behavior=name,
+                span_cap=span_cap(train, name, slack),
+                patterns=tuple(ranked),
+                co_optimal=len(result.best),
+                patterns_explored=result.stats.patterns_explored,
+                subgraph_tests=result.stats.subgraph_tests,
+                index_prefilter_skips=result.stats.index_prefilter_skips,
+                elapsed_seconds=result.stats.elapsed_seconds,
+                timed_out=result.stats.timed_out,
+            )
+        interner = LabelInterner()
+        for graph in train.all_graphs():
+            for label in graph.labels:
+                interner.intern(label)
+        return BehaviorModel(
+            config=config,
+            records=records,
+            labels=interner.snapshot(),
+            provenance={
+                # corpora loaded from disk carry seed=-1 (unknown)
+                "seed": train.config.seed if train.config.seed >= 0 else None,
+                "instances_per_behavior": train.config.instances_per_behavior,
+                "background_graphs": train.config.background_graphs,
+                "workers": effective_workers,
+                "seed_workers": seed_workers,
+                "top_k": top_k,
+                "slack": slack,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # online: batch query + streaming serve
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        model: BehaviorModel,
+        test: TestData | TemporalGraph,
+        behaviors: Sequence[str] | None = None,
+        use_index: bool = True,
+    ) -> EvaluationReport:
+        """Run a model's queries against a monitoring graph (batch).
+
+        ``test`` may be a bare :class:`TemporalGraph` (spans only) or a
+        :class:`TestData` with ground truth, in which case each
+        behavior's pooled spans are also scored for precision/recall
+        (paper Section 6.2 semantics).
+        """
+        if isinstance(test, TestData):
+            graph, truth = test.graph, test.instances
+        else:
+            graph, truth = test, None
+        engine = QueryEngine(graph, use_index=use_index)
+        names = list(behaviors) if behaviors is not None else list(model.behaviors)
+        evaluations: dict[str, BehaviorEvaluation] = {}
+        for name in names:
+            spans = pool_spans(
+                engine.search_query(query) for query in model.record(name).queries()
+            )
+            evaluations[name] = BehaviorEvaluation(
+                behavior=name,
+                spans=tuple(spans),
+                accuracy=(
+                    evaluate_spans(name, spans, truth) if truth is not None else None
+                ),
+            )
+        return EvaluationReport(behaviors=evaluations)
+
+    def serve(
+        self,
+        model: BehaviorModel,
+        window_span: int | None = None,
+        behaviors: Sequence[str] | None = None,
+        use_prefilter: bool = True,
+    ) -> DetectionService:
+        """Build a streaming service with the model's queries registered.
+
+        The returned :class:`DetectionService` is ready to
+        ``ingest``/``replay``; a model mined (or loaded) in this process
+        serves exactly the queries the bundle describes, so detections
+        in a fresh serving process are span-identical to the mining
+        process's batch :meth:`query` over the same log.
+        """
+        service = DetectionService(window_span=window_span, use_prefilter=use_prefilter)
+        service.register_all(model.queries(behaviors))
+        return service
+
+    # ------------------------------------------------------------------
+    # convenience passthroughs
+    # ------------------------------------------------------------------
+    @staticmethod
+    def load_model(path: str | Path) -> BehaviorModel:
+        """Shorthand for :meth:`BehaviorModel.load`."""
+        return BehaviorModel.load(path)
+
+    @staticmethod
+    def replay(
+        service: DetectionService,
+        events: Iterable,
+        batch_size: int = 256,
+    ) -> list:
+        """Drain a whole event log through a service; returns detections."""
+        detections = []
+        for _batch, found in service.replay(list(events), batch_size):
+            detections.extend(found)
+        return detections

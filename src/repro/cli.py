@@ -1,25 +1,26 @@
-"""Command-line interface: generate data, mine queries, search logs, serve.
+"""Command-line interface: thin argument parsing over the ``repro.api`` SDK.
 
 Usage (after install)::
 
     python -m repro generate --out data/ --instances 10 --background 30
     python -m repro mine --train data/ --behavior sshd-login --max-edges 6 \\
-        --save-queries queries.jsonl
-    python -m repro experiment --train data/ -j 4
-    python -m repro detect --queries queries.jsonl --instances 24 \\
-        --batch-size 256
+        --save-model sshd.tgm
+    python -m repro experiment --train data/ -j 4 --save-model all.tgm
+    python -m repro inspect sshd.tgm
+    python -m repro pack sshd.tgm sshd-bundle/
+    python -m repro detect --model sshd.tgm --instances 24 --batch-size 256
     python -m repro behaviors
+    python -m repro --version
 
-The CLI wraps the same pipeline the benchmarks use: datasets are stored
-as jsonl graph files (one directory per corpus), mined queries print as
-human-readable pattern listings.  ``mine --index/--no-index`` toggles the
-graph-index candidate prefilter (identical results, different speed);
-``mine --workers/-j N`` shards the seed search across N processes via
-:class:`~repro.core.parallel.ParallelMiner` (identical results again),
-and ``experiment`` mines every behavior of a corpus with behavior-level
-fan-out.  ``detect`` replays a recorded (or synthesized) syscall log as a
-stream into the :class:`~repro.serving.service.DetectionService` and
-reports per-batch latency and sustained events/sec throughput.  Both
+Every subcommand is a thin wrapper over :class:`repro.api.Workspace` and
+:class:`repro.api.BehaviorModel` — the CLI parses arguments and formats
+reports, the SDK does the work.  ``mine --save-model`` / ``experiment
+--save-model`` persist the run as one versioned model bundle;
+``detect --model`` serves a bundle mined in any other process
+(``--queries`` still accepts the bare jsonl format; ``mine
+--save-queries`` keeps writing it but is deprecated in favor of the
+bundle).  ``pack`` re-packs a bundle between its directory and ``.tgm``
+zip forms, ``inspect`` prints a bundle's manifest summary.  Both
 ``mine`` and ``detect`` accept ``--profile``, which wraps the run in
 ``cProfile`` and appends the top-20 cumulative hot spots to the report —
 perf PRs should start from that data.
@@ -33,11 +34,15 @@ import sys
 import time
 from pathlib import Path
 
-from repro.core.miner import MinerConfig, TGMiner
-from repro.core.parallel import ParallelMiner
-from repro.core.ranking import InterestModel, rank_patterns
-from repro.datasets.io import load_graphs_jsonl, save_graphs_jsonl
-from repro.syscall import BEHAVIOR_NAMES, SIZE_CLASSES, build_training_data
+from repro._version import __version__
+from repro.api import BehaviorModel, Workspace
+from repro.core.errors import ReproError
+from repro.core.miner import MinerConfig, miner_variant
+from repro.core.parallel import default_workers
+from repro.datasets.io import load_events_jsonl, save_events_jsonl
+from repro.serving.registry import load_queries_jsonl, save_queries_jsonl
+from repro.serving.service import DetectionService
+from repro.syscall import BEHAVIOR_NAMES, SIZE_CLASSES
 
 __all__ = ["main", "build_parser"]
 
@@ -55,6 +60,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="TGMiner behavior-query discovery (Zong et al., VLDB 2015)",
     )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="generate a training corpus as jsonl files")
@@ -100,11 +106,19 @@ def build_parser() -> argparse.ArgumentParser:
         "N, unless a --max-seconds cap cut either search short)",
     )
     mine.add_argument(
+        "--save-model",
+        default=None,
+        metavar="PATH",
+        help="save the run as a versioned model bundle (directory, or a "
+        ".tgm zip) consumable by `detect --model` and `inspect`",
+    )
+    mine.add_argument(
         "--save-queries",
         default=None,
         metavar="PATH",
-        help="also save the top-k ranked patterns as a behavior-query "
-        "jsonl file consumable by `detect --queries`",
+        help="(deprecated — prefer --save-model) also save the top-k "
+        "ranked patterns as a bare behavior-query jsonl file "
+        "consumable by `detect --queries`",
     )
     mine.add_argument(
         "--profile",
@@ -127,6 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exp.add_argument("--max-edges", type=int, default=6)
     exp.add_argument("--min-support", type=float, default=0.7)
+    exp.add_argument("--top-k", type=int, default=5)
     exp.add_argument("--max-seconds", type=float, default=None)
     exp.add_argument(
         "--workers",
@@ -135,6 +150,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="mine up to N behaviors concurrently (0 = one per CPU)",
     )
+    exp.add_argument(
+        "--save-model",
+        default=None,
+        metavar="PATH",
+        help="save the whole run as one versioned model bundle",
+    )
     exp.add_argument("--json", dest="json_out", default=None, help="write results JSON")
 
     det = sub.add_parser(
@@ -142,10 +163,14 @@ def build_parser() -> argparse.ArgumentParser:
         aliases=["serve"],
         help="replay a syscall log as a stream and detect behavior instances",
     )
-    det.add_argument(
+    queries = det.add_mutually_exclusive_group(required=True)
+    queries.add_argument(
+        "--model",
+        help="model bundle from `mine --save-model` (directory or .tgm)",
+    )
+    queries.add_argument(
         "--queries",
-        required=True,
-        help="behavior-query jsonl from `mine --save-queries`",
+        help="bare behavior-query jsonl from `mine --save-queries`",
     )
     source = det.add_mutually_exclusive_group(required=True)
     source.add_argument(
@@ -185,37 +210,34 @@ def build_parser() -> argparse.ArgumentParser:
         "spots after the normal output (perf-work reconnaissance)",
     )
 
+    pack = sub.add_parser(
+        "pack",
+        help="re-pack a model bundle (directory <-> .tgm zip)",
+    )
+    pack.add_argument("src", help="bundle to read (directory or .tgm)")
+    pack.add_argument("dst", help="bundle to write (directory, or .tgm to zip)")
+
+    ins = sub.add_parser("inspect", help="print a model bundle's manifest summary")
+    ins.add_argument("model", help="bundle to inspect (directory or .tgm)")
+
     sub.add_parser("behaviors", help="list the 12 behaviors and size classes")
     return parser
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    out = Path(args.out)
-    out.mkdir(parents=True, exist_ok=True)
-    data = build_training_data(
+    ws = Workspace(seed=args.seed)
+    train = ws.generate(
         instances_per_behavior=args.instances,
         background_graphs=args.background,
-        seed=args.seed,
     )
-    total = 0
-    for name in BEHAVIOR_NAMES:
-        total += save_graphs_jsonl(data.behavior(name), out / f"{name}.jsonl")
-    total += save_graphs_jsonl(data.background, out / "background.jsonl")
-    print(f"wrote {total} graphs to {out}")
+    total = ws.save_corpus(train, args.out)
+    print(f"wrote {total} graphs to {args.out}")
     return 0
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
-    from repro.core.miner import miner_variant
-
-    root = Path(args.train)
-    pos_path = root / f"{args.behavior}.jsonl"
-    bg_path = root / "background.jsonl"
-    if not pos_path.exists() or not bg_path.exists():
-        print(f"error: corpus files missing under {root}", file=sys.stderr)
-        return 2
-    positives = load_graphs_jsonl(pos_path)
-    background = load_graphs_jsonl(bg_path)
+    ws = Workspace()
+    train = ws.load_corpus(args.train, behaviors=[args.behavior])
     config = miner_variant(
         args.variant,
         MinerConfig(
@@ -225,118 +247,94 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             index_prefilter=args.index,
         ),
     )
-    if args.workers != 1:
-        # 0 = one worker per CPU, matching `experiment -j 0`
-        miner = ParallelMiner(config, workers=args.workers or None)
-        workers = miner.workers
-    else:
-        miner = TGMiner(config)
-        workers = 1
-    result = miner.mine(positives, background)
+    # 0 = one worker per CPU, matching `experiment -j 0`
+    seed_workers = args.workers if args.workers != 0 else default_workers()
+    model = ws.mine(
+        train,
+        behaviors=[args.behavior],
+        config=config,
+        seed_workers=seed_workers,
+        top_k=args.top_k,
+    )
+    record = model.record(args.behavior)
+    best = record.best_score if record.best_score is not None else float("-inf")
     print(
-        f"explored {result.stats.patterns_explored} patterns in "
-        f"{result.stats.elapsed_seconds:.2f}s; best score {result.best_score:.3f}"
-        + (f" ({workers} workers)" if workers > 1 else "")
+        f"explored {record.patterns_explored} patterns in "
+        f"{record.elapsed_seconds:.2f}s; best score {best:.3f}"
+        + (f" ({seed_workers} workers)" if seed_workers > 1 else "")
     )
     if config.index_prefilter:
         print(
-            f"index prefilter: {result.stats.index_prefilter_skips} of "
-            f"{result.stats.subgraph_tests} candidate subgraph tests "
+            f"index prefilter: {record.index_prefilter_skips} of "
+            f"{record.subgraph_tests} candidate subgraph tests "
             "answered by signature alone"
         )
-    corpus = positives + background
-    model = InterestModel.fit(corpus)
-    ranked = rank_patterns(result.best, model)[: args.top_k]
-    for rank, mined in enumerate(ranked, 1):
+    for rank, mined in enumerate(record.patterns, 1):
         print(
             f"\n#{rank} (score {mined.score:.3f}, pos {mined.pos_freq:.2f}, "
             f"neg {mined.neg_freq:.2f})"
         )
         print(mined.pattern.describe())
+    if args.save_model:
+        path = model.save(args.save_model)
+        print(f"\nwrote model bundle to {path}")
     if args.save_queries:
-        from repro.experiments.harness import span_cap_for_graphs
-        from repro.serving.registry import BehaviorQuery, save_queries_jsonl
-
-        cap = span_cap_for_graphs(positives)
-        count = save_queries_jsonl(
-            [
-                BehaviorQuery(
-                    name=f"{args.behavior}#{rank}",
-                    pattern=mined.pattern,
-                    max_span=cap,
-                )
-                for rank, mined in enumerate(ranked, 1)
-            ],
-            args.save_queries,
+        count = save_queries_jsonl(model.queries(), args.save_queries)
+        print(
+            f"\nwrote {count} behavior queries to {args.save_queries} "
+            "(deprecated format — prefer `--save-model`)"
         )
-        print(f"\nwrote {count} behavior queries to {args.save_queries}")
     return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    from repro.experiments.harness import mine_all_behaviors
-    from repro.syscall.collector import TrainingConfig, TrainingData
-
-    root = Path(args.train)
-    bg_path = root / "background.jsonl"
-    if not bg_path.exists():
-        print(f"error: corpus files missing under {root}", file=sys.stderr)
-        return 2
+    ws = Workspace()
     if args.behaviors:
         names = list(args.behaviors)
     else:
-        names = sorted(
-            path.stem
-            for path in root.glob("*.jsonl")
-            if path.stem in BEHAVIOR_NAMES
-        )
-    if not names:
-        print(f"error: no behavior files under {root}", file=sys.stderr)
-        return 2
-    missing = [n for n in names if not (root / f"{n}.jsonl").exists()]
-    if missing:
-        print(f"error: behavior files missing: {', '.join(missing)}", file=sys.stderr)
-        return 2
-    train = TrainingData(
-        config=TrainingConfig(behaviors=tuple(names)),
-        behaviors={n: load_graphs_jsonl(root / f"{n}.jsonl") for n in names},
-        background=load_graphs_jsonl(bg_path),
-    )
+        from repro.datasets.io import corpus_behaviors
+
+        names = [n for n in corpus_behaviors(args.train) if n in BEHAVIOR_NAMES]
+    train = ws.load_corpus(args.train, behaviors=names)
     config = MinerConfig(
         max_edges=args.max_edges,
         min_pos_support=args.min_support,
         max_seconds=args.max_seconds,
     )
-    workers = args.workers if args.workers != 0 else None
     started = time.perf_counter()
-    results = mine_all_behaviors(train, names, config, workers=workers)
+    model = ws.mine(
+        train,
+        behaviors=names,
+        config=config,
+        workers=args.workers,
+        top_k=args.top_k,
+    )
     wall = time.perf_counter() - started
     print(f"{'behavior':22s} {'best':>8s} {'patterns':>9s} {'seconds':>8s}")
-    for name, result in results.items():
+    for record in model.records.values():
+        best = record.best_score if record.best_score is not None else float("-inf")
         print(
-            f"{name:22s} {result.best_score:8.3f} "
-            f"{result.stats.patterns_explored:9d} "
-            f"{result.stats.elapsed_seconds:8.2f}"
+            f"{record.behavior:22s} {best:8.3f} "
+            f"{record.patterns_explored:9d} "
+            f"{record.elapsed_seconds:8.2f}"
         )
-    print(f"mined {len(results)} behaviors in {wall:.2f}s wall-clock")
+    print(f"mined {len(model.records)} behaviors in {wall:.2f}s wall-clock")
+    if args.save_model:
+        path = model.save(args.save_model)
+        print(f"wrote model bundle to {path}")
     if args.json_out:
         payload = {
             "workers": args.workers,
             "wall_seconds": wall,
             "behaviors": {
-                name: {
-                    # -inf (nothing mined) is not valid JSON; emit null
-                    "best_score": (
-                        result.best_score
-                        if result.best_score != float("-inf")
-                        else None
-                    ),
-                    "patterns_explored": result.stats.patterns_explored,
-                    "elapsed_seconds": result.stats.elapsed_seconds,
-                    "timed_out": result.stats.timed_out,
-                    "co_optimal_patterns": len(result.best),
+                record.behavior: {
+                    "best_score": record.best_score,
+                    "patterns_explored": record.patterns_explored,
+                    "elapsed_seconds": record.elapsed_seconds,
+                    "timed_out": record.timed_out,
+                    "co_optimal_patterns": record.co_optimal,
                 }
-                for name, result in results.items()
+                for record in model.records.values()
             },
         }
         Path(args.json_out).write_text(json.dumps(payload, indent=2))
@@ -345,20 +343,25 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:
-    from repro.core.errors import ReproError
-    from repro.datasets.io import load_events_jsonl, save_events_jsonl
-    from repro.serving.registry import load_queries_jsonl
-    from repro.serving.service import DetectionService
-    from repro.syscall.collector import build_test_data
-
-    queries_path = Path(args.queries)
-    if not queries_path.exists():
-        print(f"error: query file missing: {queries_path}", file=sys.stderr)
-        return 2
-    queries = load_queries_jsonl(queries_path)
-    if not queries:
-        print(f"error: no queries in {queries_path}", file=sys.stderr)
-        return 2
+    ws = Workspace()
+    if args.model:
+        model = BehaviorModel.load(args.model)
+        queries = model.queries()
+        if not queries:
+            print(f"error: no queries in model bundle {args.model}", file=sys.stderr)
+            return 2
+        service = ws.serve(model, window_span=args.window, use_prefilter=args.index)
+    else:
+        queries_path = Path(args.queries)
+        if not queries_path.exists():
+            print(f"error: query file missing: {queries_path}", file=sys.stderr)
+            return 2
+        queries = load_queries_jsonl(queries_path)
+        if not queries:
+            print(f"error: no queries in {queries_path}", file=sys.stderr)
+            return 2
+        service = DetectionService(window_span=args.window, use_prefilter=args.index)
+        service.register_all(queries)
     if args.log:
         log_path = Path(args.log)
         if not log_path.exists():
@@ -369,22 +372,15 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         if args.instances < 1:
             print("error: --instances must be >= 1", file=sys.stderr)
             return 2
-        events = build_test_data(instances=args.instances, seed=args.seed).events
+        events = ws.generate_test(instances=args.instances, seed=args.seed).events
     if args.save_log:
         save_events_jsonl(events, args.save_log)
         print(f"wrote {len(events)} events to {args.save_log}")
 
-    service = DetectionService(window_span=args.window, use_prefilter=args.index)
-    try:
-        for query in queries:
-            service.register(query)
-        per_query: dict[str, int] = {q.name: 0 for q in queries}
-        for _batch, detections in service.replay(events, args.batch_size):
-            for detection in detections:
-                per_query[detection.query] += 1
-    except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    per_query: dict[str, int] = {q.name: 0 for q in queries}
+    for _batch, detections in service.replay(events, args.batch_size):
+        for detection in detections:
+            per_query[detection.query] += 1
 
     stats = service.stats
     p50 = stats.latency_percentile(0.5)
@@ -431,6 +427,23 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pack(args: argparse.Namespace) -> int:
+    model = BehaviorModel.load(args.src)
+    path = model.save(args.dst)
+    kind = "zipped bundle" if path.suffix == ".tgm" else "bundle directory"
+    print(
+        f"re-packed {args.src} -> {path} ({kind}; {len(model.records)} "
+        f"behaviors, {sum(len(r.patterns) for r in model.records.values())} "
+        "queries)"
+    )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    print(BehaviorModel.load(args.model).describe())
+    return 0
+
+
 def _cmd_behaviors(_args: argparse.Namespace) -> int:
     for cls, names in SIZE_CLASSES.items():
         print(f"{cls}:")
@@ -465,12 +478,18 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "detect": _cmd_detect,
         "serve": _cmd_detect,
+        "pack": _cmd_pack,
+        "inspect": _cmd_inspect,
         "behaviors": _cmd_behaviors,
     }
     handler = handlers[args.command]
-    if getattr(args, "profile", False):
-        return _run_profiled(handler, args)
-    return handler(args)
+    try:
+        if getattr(args, "profile", False):
+            return _run_profiled(handler, args)
+        return handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -44,3 +44,9 @@ class ServingError(ReproError):
 
 class DatasetError(ReproError):
     """Raised by dataset builders, loaders, and the syscall simulator."""
+
+
+class ArtifactError(ReproError):
+    """Raised for invalid :class:`~repro.api.model.BehaviorModel` bundles:
+    unreadable or structurally corrupt files, missing bundle members, or a
+    schema version this library release cannot interpret."""

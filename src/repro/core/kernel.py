@@ -86,6 +86,24 @@ class LabelInterner:
         """Return the id of ``label`` or ``None`` without assigning one."""
         return self._ids.get(label)
 
+    def snapshot(self) -> tuple[str, ...]:
+        """The interned labels in id order (id ``i`` carries label ``i``).
+
+        This is the persistable form of an interner: ids are never
+        written to disk (see the interning contract above), only the
+        first-encounter label order, from which :meth:`restore` rebuilds
+        a bit-identical mapping in any process.
+        """
+        return tuple(self._labels)
+
+    @classmethod
+    def restore(cls, labels: Sequence[str]) -> "LabelInterner":
+        """Rebuild an interner from a :meth:`snapshot` label order."""
+        interner = cls()
+        for label in labels:
+            interner.intern(label)
+        return interner
+
     def label_of(self, lid: int) -> str:
         """Return the label string carrying id ``lid``."""
         return self._labels[lid]

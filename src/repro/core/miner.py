@@ -38,7 +38,7 @@ baselines so their reproduced cost profiles stay faithful.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, fields, replace
 from typing import Sequence
 
 from repro.core.errors import MiningError
@@ -133,6 +133,28 @@ class MinerConfig:
             raise MiningError(
                 f"unknown residual_equivalence {self.residual_equivalence!r}"
             )
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form (model-bundle manifests persist this).
+
+        A :class:`ScoreFunction` instance collapses to its registry name,
+        so a round-tripped config always scores identically.
+        """
+        payload = asdict(self)
+        if isinstance(self.score, ScoreFunction):
+            payload["score"] = self.score.name
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MinerConfig":
+        """Rebuild a validated config from :meth:`to_dict` output."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise MiningError(f"unknown MinerConfig fields: {', '.join(unknown)}")
+        config = cls(**payload)
+        config.validate()
+        return config
 
 
 @dataclass(frozen=True)

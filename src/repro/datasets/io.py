@@ -30,10 +30,16 @@ __all__ = [
     "load_graphs_jsonl",
     "graph_to_dict",
     "graph_from_dict",
+    "save_corpus",
+    "load_corpus",
+    "corpus_behaviors",
     "save_events_jsonl",
     "load_events_jsonl",
     "iter_jsonl_objects",
 ]
+
+#: File name of the shared negative set inside a corpus directory.
+BACKGROUND_FILE = "background.jsonl"
 
 
 def iter_jsonl_objects(path: str | Path):
@@ -89,6 +95,67 @@ def save_graphs_jsonl(graphs: Iterable[TemporalGraph], path: str | Path) -> int:
 def load_graphs_jsonl(path: str | Path) -> list[TemporalGraph]:
     """Read graphs from a jsonl file."""
     return [graph_from_dict(payload) for _line, payload in iter_jsonl_objects(path)]
+
+
+# ----------------------------------------------------------------------
+# corpus directories — one jsonl file per behavior plus background.jsonl
+# ----------------------------------------------------------------------
+def save_corpus(train, root: str | Path) -> int:
+    """Write a training corpus as a directory of jsonl graph files.
+
+    Layout: ``<behavior>.jsonl`` per behavior plus ``background.jsonl``
+    (the CLI ``generate`` format).  Returns the number of graphs written.
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    total = 0
+    for name in train.config.behaviors:
+        total += save_graphs_jsonl(train.behavior(name), root / f"{name}.jsonl")
+    total += save_graphs_jsonl(train.background, root / BACKGROUND_FILE)
+    return total
+
+
+def corpus_behaviors(root: str | Path) -> list[str]:
+    """Behavior names present in a corpus directory (sorted)."""
+    root = Path(root)
+    return sorted(p.stem for p in root.glob("*.jsonl") if p.name != BACKGROUND_FILE)
+
+
+def load_corpus(root: str | Path, behaviors: Sequence[str] | None = None):
+    """Load a corpus directory back into a ``TrainingData``.
+
+    ``behaviors`` restricts the load to the named subset (the mining CLI
+    loads one behavior plus background); ``None`` loads every behavior
+    file.  Raises :class:`DatasetError` when requested files are missing.
+    """
+    from repro.syscall.collector import TrainingConfig, TrainingData
+
+    root = Path(root)
+    bg_path = root / BACKGROUND_FILE
+    if not bg_path.exists():
+        raise DatasetError(f"corpus files missing under {root}: {BACKGROUND_FILE}")
+    names = list(behaviors) if behaviors is not None else corpus_behaviors(root)
+    missing = [n for n in names if not (root / f"{n}.jsonl").exists()]
+    if missing:
+        raise DatasetError(f"behavior files missing under {root}: {', '.join(missing)}")
+    if not names:
+        raise DatasetError(f"no behavior files under {root}")
+    behavior_graphs = {n: load_graphs_jsonl(root / f"{n}.jsonl") for n in names}
+    background = load_graphs_jsonl(bg_path)
+    # rebuild the config from what is actually on disk; seed=-1 flags
+    # that a corpus directory does not record its generation seed
+    return TrainingData(
+        config=TrainingConfig(
+            behaviors=tuple(names),
+            instances_per_behavior=max(
+                1, min(len(graphs) for graphs in behavior_graphs.values())
+            ),
+            background_graphs=len(background),
+            seed=-1,
+        ),
+        behaviors=behavior_graphs,
+        background=background,
+    )
 
 
 def save_events_jsonl(events: Sequence[SyscallEvent], path: str | Path) -> int:

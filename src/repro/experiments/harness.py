@@ -25,6 +25,8 @@ from repro.query.evaluation import PrecisionRecall, evaluate_spans, pool_spans
 from repro.syscall.collector import TestData, TrainingData
 
 __all__ = [
+    "DEFAULT_SPAN_SLACK",
+    "interest_model",
     "span_cap",
     "span_cap_for_graphs",
     "mine_behavior",

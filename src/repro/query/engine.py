@@ -102,6 +102,16 @@ class QueryEngine:
             spans.add(match_span(match, self.graph))
         return sorted(spans)
 
+    def search_query(self, query) -> list[Span]:
+        """Spans for one registered-style behavior query.
+
+        Accepts anything exposing ``pattern`` and ``max_span`` —
+        :class:`~repro.serving.registry.BehaviorQuery` in practice — so
+        the batch engine answers exactly what the streaming service
+        registers (the mine → save → load → query SDK path).
+        """
+        return self.search_temporal(query.pattern, query.max_span)
+
     # ------------------------------------------------------------------
     # non-temporal behavior queries (Ntemp)
     # ------------------------------------------------------------------

@@ -53,6 +53,18 @@ class PrecisionRecall:
             return 1.0
         return self.discovered / self.total_instances
 
+    def as_dict(self) -> dict:
+        """JSON-compatible form (evaluation reports and the CLI dump this)."""
+        return {
+            "behavior": self.behavior,
+            "identified": self.identified,
+            "correct": self.correct,
+            "discovered": self.discovered,
+            "total_instances": self.total_instances,
+            "precision": self.precision,
+            "recall": self.recall,
+        }
+
     def as_row(self) -> str:
         """One formatted row for experiment tables."""
         return (

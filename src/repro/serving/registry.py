@@ -35,6 +35,8 @@ __all__ = [
     "BehaviorQuery",
     "QueryRegistry",
     "RegistryStats",
+    "query_to_dict",
+    "query_from_dict",
     "save_queries_jsonl",
     "load_queries_jsonl",
 ]

@@ -166,6 +166,10 @@ class DetectionService:
         self._seen[query_id] = set()
         return query_id
 
+    def register_all(self, queries: Sequence[BehaviorQuery]) -> list[int]:
+        """Register a query batch (the model-bundle serving path)."""
+        return [self.register(query) for query in queries]
+
     @property
     def window_span(self) -> int | None:
         """The effective eviction window (``None`` with nothing registered)."""

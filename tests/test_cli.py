@@ -259,9 +259,132 @@ class TestDetect:
             build_parser().parse_args(["detect", "--queries", "q.jsonl"])
 
 
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert f"repro {repro.__version__}" in capsys.readouterr().out
+
+
+class TestModelBundles:
+    @pytest.fixture(scope="class")
+    def bundle(self, corpus, tmp_path_factory):
+        path = tmp_path_factory.mktemp("model") / "model.tgm"
+        assert (
+            main(
+                [
+                    "mine",
+                    "--train",
+                    str(corpus),
+                    "--behavior",
+                    "gzip-decompress",
+                    "--max-edges",
+                    "3",
+                    "--save-model",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        return path
+
+    def test_mine_save_model_writes_bundle(self, bundle, capsys):
+        assert bundle.exists()
+
+    def test_inspect_reports_manifest(self, bundle, capsys):
+        assert main(["inspect", str(bundle)]) == 0
+        out = capsys.readouterr().out
+        assert "BehaviorModel schema v1" in out
+        assert "gzip-decompress" in out
+        assert "span cap" in out
+
+    def test_pack_roundtrip_preserves_model(self, bundle, tmp_path, capsys):
+        unpacked = tmp_path / "unpacked"
+        assert main(["pack", str(bundle), str(unpacked)]) == 0
+        assert "re-packed" in capsys.readouterr().out
+        assert (unpacked / "manifest.json").exists()
+        rezipped = tmp_path / "again.tgm"
+        assert main(["pack", str(unpacked), str(rezipped)]) == 0
+        assert rezipped.read_bytes() == bundle.read_bytes()
+
+    def test_detect_model_matches_detect_queries(
+        self, corpus, bundle, tmp_path, capsys
+    ):
+        queries = tmp_path / "queries.jsonl"
+        assert (
+            main(
+                [
+                    "mine",
+                    "--train",
+                    str(corpus),
+                    "--behavior",
+                    "gzip-decompress",
+                    "--max-edges",
+                    "3",
+                    "--save-queries",
+                    str(queries),
+                ]
+            )
+            == 0
+        )
+        assert "deprecated" in capsys.readouterr().out
+        args = ["--instances", "3", "--batch-size", "64"]
+        assert main(["detect", "--model", str(bundle)] + args) == 0
+        model_out = capsys.readouterr().out
+        assert main(["detect", "--queries", str(queries)] + args) == 0
+        queries_out = capsys.readouterr().out
+        assert model_out.split("detections:")[1] == queries_out.split("detections:")[1]
+
+    def test_detect_empty_model_errors(self, tmp_path, capsys):
+        from repro import BehaviorModel, MinerConfig
+
+        empty = tmp_path / "empty.tgm"
+        BehaviorModel(config=MinerConfig(), records={}, labels=()).save(empty)
+        code = main(["detect", "--model", str(empty), "--instances", "2"])
+        assert code == 2
+        assert "no queries" in capsys.readouterr().err
+
+    def test_detect_missing_model_errors(self, tmp_path, capsys):
+        code = main(
+            [
+                "detect",
+                "--model",
+                str(tmp_path / "none.tgm"),
+                "--instances",
+                "2",
+            ]
+        )
+        assert code == 2
+        assert "no such model bundle" in capsys.readouterr().err
+
+    def test_inspect_corrupt_bundle_errors(self, tmp_path, capsys):
+        stray = tmp_path / "stray.tgm"
+        stray.write_text("not a zip")
+        assert main(["inspect", str(stray)]) == 2
+        assert "not a model bundle" in capsys.readouterr().err
+
+    def test_detect_rejects_model_and_queries_together(self, bundle):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                [
+                    "detect",
+                    "--model",
+                    str(bundle),
+                    "--queries",
+                    "q.jsonl",
+                    "--instances",
+                    "2",
+                ]
+            )
+
+
 class TestExperiment:
     def test_experiment_all_behaviors(self, corpus, capsys, tmp_path):
         out_json = tmp_path / "exp.json"
+        bundle = tmp_path / "exp-model"
         assert (
             main(
                 [
@@ -277,6 +400,8 @@ class TestExperiment:
                     "2",
                     "--json",
                     str(out_json),
+                    "--save-model",
+                    str(bundle),
                 ]
             )
             == 0
@@ -289,6 +414,10 @@ class TestExperiment:
         payload = json.loads(out_json.read_text())
         assert set(payload["behaviors"]) == {"gzip-decompress", "bzip2-decompress"}
         assert payload["behaviors"]["gzip-decompress"]["best_score"] > 0
+        # the saved multi-behavior bundle is inspectable
+        assert main(["inspect", str(bundle)]) == 0
+        inspect_out = capsys.readouterr().out
+        assert "2 behaviors" in inspect_out
 
     def test_experiment_discovers_corpus_behaviors(self, corpus, capsys):
         assert (
