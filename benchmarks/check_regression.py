@@ -67,7 +67,14 @@ METRICS = [
     Metric("BENCH_kernel.json", "speedup", "higher_better"),
     Metric("BENCH_kernel.json", "identical", "bool_true"),
     Metric("BENCH_kernel.json", "growth_speedup", "absolute"),
-    Metric("BENCH_kernel.json", "match_speedup", "absolute"),
+    # the vectorized-join ratio: gated wherever numpy was the active
+    # backend in both runs (the bench records that as the guard)
+    Metric(
+        "BENCH_kernel.json",
+        "match_speedup",
+        "higher_better",
+        guard="match_speedup_enforced",
+    ),
     Metric("BENCH_parallel.json", "identical", "bool_true"),
     Metric(
         "BENCH_parallel.json", "seed_speedup", "higher_better", guard="speedup_enforced"

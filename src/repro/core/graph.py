@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from types import MappingProxyType
 from typing import Iterable, Iterator, Mapping, Sequence
 
+from repro.core.buffers import IntColumn, int_column
 from repro.core.errors import GraphError, TimestampOrderError
 from repro.core.kernel import EdgeArrays, GraphKernel, LabelInterner
 
@@ -71,10 +72,13 @@ class TemporalGraph:
         self._edge_times: list[int] = []
         self._suffix_labels: list[frozenset[str]] = []
         self._pair_edges: dict[tuple[str, str], list[int]] = {}
-        # Array-backed data plane (repro.core.kernel), built lazily on
-        # first use and never pickled — workers rebuild after fork/spawn.
-        self._edge_srcs: list[int] | None = None
-        self._edge_dsts: list[int] | None = None
+        # Array-backed data plane (repro.core.kernel): contiguous int64
+        # buffers (repro.core.buffers), built lazily on first use and
+        # never pickled — workers rebuild after fork/spawn, or receive
+        # read-only shared-memory views via from_frozen_columns().
+        self._col_src: IntColumn | None = None
+        self._col_dst: IntColumn | None = None
+        self._col_time: IntColumn | None = None
         self._kernel: GraphKernel | None = None
 
     # ------------------------------------------------------------------
@@ -242,16 +246,20 @@ class TemporalGraph:
     def edge_arrays(self) -> EdgeArrays:
         """Flat ``(base, src, dst, time)`` edge columns (base is 0).
 
-        The columns are built once on first access and cached; they are
-        what :func:`repro.core.graph_index.find_matches` scans instead of
-        per-edge objects.  The time column aliases the index built at
-        freeze time, so no storage is duplicated for it.
+        The columns are contiguous int64 buffers (see
+        :mod:`repro.core.buffers`): built once on first access and
+        cached, or — for graphs reconstructed by
+        :meth:`from_frozen_columns` — read-only views into a shared
+        memory segment.  They are what
+        :func:`repro.core.graph_index.find_matches` scans instead of
+        per-edge objects.
         """
         self._require_frozen()
-        if self._edge_srcs is None:
-            self._edge_srcs = [edge.src for edge in self._edges]
-            self._edge_dsts = [edge.dst for edge in self._edges]
-        return (0, self._edge_srcs, self._edge_dsts, self._edge_times)
+        if self._col_src is None:
+            self._col_src = int_column(edge.src for edge in self._edges)
+            self._col_dst = int_column(edge.dst for edge in self._edges)
+            self._col_time = int_column(self._edge_times)
+        return (0, self._col_src, self._col_dst, self._col_time)
 
     def kernel(self, interner: LabelInterner | None = None) -> GraphKernel:
         """The graph's interned-label CSR kernel, built lazily and cached.
@@ -337,11 +345,13 @@ class TemporalGraph:
     def __getstate__(self) -> dict:
         # The kernel and flat edge columns are cheap, deterministic
         # derivations; shipping them to pool workers would pickle every
-        # list twice.  Workers rebuild them lazily on first use.
+        # column twice (and shared-memory views cannot pickle at all).
+        # Workers rebuild them lazily on first use.
         state = self.__dict__.copy()
         state["_kernel"] = None
-        state["_edge_srcs"] = None
-        state["_edge_dsts"] = None
+        state["_col_src"] = None
+        state["_col_dst"] = None
+        state["_col_time"] = None
         return state
 
     def __len__(self) -> int:
@@ -352,6 +362,40 @@ class TemporalGraph:
             f"TemporalGraph(name={self.name!r}, nodes={self.num_nodes}, "
             f"edges={self.num_edges})"
         )
+
+    @classmethod
+    def from_frozen_columns(
+        cls,
+        name: str,
+        labels: Sequence[str],
+        src: IntColumn,
+        dst: IntColumn,
+        time: IntColumn,
+    ) -> "TemporalGraph":
+        """Rebuild a frozen graph from flat edge columns, zero-copy.
+
+        The columns must describe an already-frozen graph: time-sorted,
+        strictly increasing timestamps, endpoints in ``0..len(labels)-1``
+        — exactly what :meth:`edge_arrays` of a frozen graph returns.
+        They are adopted as the graph's cached columns *without copying*,
+        so read-only shared-memory views stay shared (the
+        :mod:`repro.core.shm` attach path); only the object-layer indexes
+        are rebuilt locally.  No validation re-runs — the publisher froze
+        the original, and freezing is deterministic.
+        """
+        graph = cls(name=name)
+        graph._labels = list(labels)
+        graph._edges = [
+            TemporalEdge(s, d, t) for s, d, t in zip(src, dst, time)
+        ]
+        graph._build_indexes()
+        if graph._edges:
+            graph._next_auto_time = graph._edges[-1].time + 1
+        graph._frozen = True
+        graph._col_src = src
+        graph._col_dst = dst
+        graph._col_time = time
+        return graph
 
     @classmethod
     def from_events(

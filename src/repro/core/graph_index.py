@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Protocol, Sequence, runtime_checkable
 
 from repro.core.brute import Match
+from repro.core.buffers import active_numpy, as_ndarray
 from repro.core.graph import TemporalEdge, TemporalGraph
 from repro.core.kernel import LabelInterner
 from repro.core.pattern import TemporalPattern
@@ -182,8 +183,250 @@ def _join_arrays(
 ) -> Iterator[Match]:
     """Temporal index join over flat ``(base, src, dst, time)`` columns.
 
+    Dispatches on the active buffer backend: with numpy available (and a
+    candidate set big enough to amortize the batch gather) the
+    :func:`_join_vectorized` candidate join runs; otherwise the scalar
+    :func:`_join_buffers` loop walks the same buffers.  Both enumerate
+    the same match sequence as :func:`_join_objects`, byte for byte —
+    the randomized harness in ``tests/test_properties.py`` pins all
+    three against each other.
+    """
+    np = active_numpy()
+    if np is not None and (
+        sum(len(lst) for lst in candidate_lists) >= _VECTOR_MIN_CANDIDATES
+    ):
+        yield from _join_vectorized(
+            np, pattern, arrays, candidate_lists,
+            max_span, limit, start_index, min_last_index,
+        )
+    else:
+        yield from _join_buffers(
+            pattern, arrays, candidate_lists,
+            max_span, limit, start_index, min_last_index,
+        )
+
+
+#: Below this many total candidate edges the batch gather of
+#: :func:`_join_vectorized` costs more than it saves and the scalar
+#: buffer join runs instead (tiny pattern-vs-pattern containment tests
+#: stay on the cheap path).  Byte identity is unaffected — only speed.
+_VECTOR_MIN_CANDIDATES = 64
+
+#: Scan windows shorter than this are walked scalar even inside the
+#: vectorized join: a boolean mask + ``flatnonzero`` carries a fixed
+#: numpy dispatch cost that only pays off once enough candidates are
+#: rejected per C-speed pass.
+_VECTOR_MIN_WINDOW = 24
+
+
+def _join_vectorized(
+    np,
+    pattern: TemporalPattern,
+    arrays: tuple[int, Sequence[int], Sequence[int], Sequence[int]],
+    candidate_lists: list[Sequence[int]],
+    max_span: int | None,
+    limit: int | None,
+    start_index: int,
+    min_last_index: int,
+) -> Iterator[Match]:
+    """Batched temporal index join over gathered candidate columns.
+
+    Per pattern edge the candidate ids are gathered *once* into dense
+    ``(id, src, dst, time)`` columns by fancy-indexing the zero-copy
+    numpy views of the edge buffers — the join then never touches the
+    full columns again.  Each gathered column is kept in two forms:
+
+    * an int64 ndarray, so a recursion level with a bound endpoint can
+      reject a large scan window with one boolean mask +
+      ``flatnonzero`` instead of a per-candidate Python loop;
+    * a plain-list twin (one ``.tolist()`` at gather time), so frontier
+      and span-cap resolution stay cheap ``bisect`` calls, small
+      windows are walked scalar without numpy dispatch overhead, and
+      every value entering ``assignment``/:class:`Match` is already a
+      Python int (no numpy scalars leak out).
+
+    Candidates are always visited in ascending id order, so the
+    enumeration — and hence byte identity with :func:`_join_buffers`
+    and :func:`_join_objects` — is preserved; only the rejection
+    mechanics differ.
+    """
+    base, e_src, e_dst, e_time = arrays
+    src_col = as_ndarray(e_src)
+    dst_col = as_ndarray(e_dst)
+    time_col = as_ndarray(e_time)
+    p_edges = pattern.edges
+    m = pattern.num_edges
+    last_pos = m - 1
+    last_floor = min_last_index - 1
+    flatnonzero = np.flatnonzero
+
+    # Gather each pattern edge's candidate columns once.  Candidate ids
+    # below ``base`` were compacted away by a streaming source — they
+    # are kept as a count so a frontier landing in the dead prefix
+    # raises exactly like the scalar paths, but never gathered.
+    dead_counts: list[int] = []
+    src_np: list = []
+    dst_np: list = []
+    id_lists: list[list[int]] = []
+    src_lists: list[list[int]] = []
+    dst_lists: list[list[int]] = []
+    time_lists: list[list[int]] = []
+    for lst in candidate_lists:
+        ids = np.asarray(lst, dtype=np.int64)
+        dead = int(np.searchsorted(ids, base, side="left")) if base else 0
+        live = ids[dead:]
+        offsets = live - base
+        srcs = src_col[offsets]
+        dsts = dst_col[offsets]
+        times = time_col[offsets]
+        dead_counts.append(dead)
+        src_np.append(srcs)
+        dst_np.append(dsts)
+        id_lists.append(live.tolist())
+        src_lists.append(srcs.tolist())
+        dst_lists.append(dsts.tolist())
+        time_lists.append(times.tolist())
+
+    assignment: dict[int, int] = {}
+    used: set[int] = set()
+    chosen: list[int] = []
+    emitted = 0
+
+    def join(edge_pos: int, frontier: int, start_time: int) -> Iterator[Match]:
+        nonlocal emitted
+        if edge_pos == m:
+            nodes = tuple(assignment[i] for i in range(pattern.num_nodes))
+            yield Match(nodes, tuple(chosen))
+            emitted += 1
+            return
+        pu, pv = p_edges[edge_pos]
+        cands = candidate_lists[edge_pos]
+        if edge_pos == last_pos and frontier < last_floor:
+            frontier = last_floor
+        lo_full = bisect_right(cands, frontier)
+        dead = dead_counts[edge_pos]
+        if lo_full < dead:
+            # mirrors the streaming edge view's defense: a candidate
+            # below the compaction base means the caller's frontier
+            # was wrong, never silently read a recycled slot
+            raise IndexError(f"edge {cands[lo_full]} was compacted away")
+        lo = lo_full - dead
+        times = time_lists[edge_pos]
+        n = len(times)
+        if lo >= n:
+            return
+        if max_span is not None and edge_pos > 0:
+            hi = bisect_right(times, start_time + max_span, lo)
+            if hi <= lo:
+                return
+        else:
+            hi = n
+        ids_l = id_lists[edge_pos]
+        srcs_l = src_lists[edge_pos]
+        dsts_l = dst_lists[edge_pos]
+        bind_u = pu not in assignment
+        bind_v = pv not in assignment
+        if (bind_u and bind_v) or hi - lo < _VECTOR_MIN_WINDOW:
+            # Scalar walk of the gathered lists: every candidate of a
+            # doubly-unbound edge recurses anyway (nothing to mask),
+            # and short windows don't amortize a mask.  Twin of the
+            # :func:`_join_buffers` loop body.
+            for pos in range(lo, hi):
+                du = srcs_l[pos]
+                dv = dsts_l[pos]
+                if not bind_u and assignment[pu] != du:
+                    continue
+                if not bind_v and assignment[pv] != dv:
+                    continue
+                if bind_u and du in used:
+                    continue
+                if bind_v and (dv in used or (bind_u and du == dv)):
+                    continue
+                if bind_u:
+                    assignment[pu] = du
+                    used.add(du)
+                if bind_v:
+                    assignment[pv] = dv
+                    used.add(dv)
+                idx = ids_l[pos]
+                chosen.append(idx)
+                first_time = times[pos] if edge_pos == 0 else start_time
+                yield from join(edge_pos + 1, idx, first_time)
+                chosen.pop()
+                if bind_u:
+                    del assignment[pu]
+                    used.discard(du)
+                if bind_v:
+                    del assignment[pv]
+                    used.discard(dv)
+                if limit is not None and emitted >= limit:
+                    return
+        elif not bind_u and not bind_v:
+            srcs = src_np[edge_pos]
+            dsts = dst_np[edge_pos]
+            mask = (srcs[lo:hi] == assignment[pu]) & (dsts[lo:hi] == assignment[pv])
+            for k in flatnonzero(mask).tolist():
+                pos = lo + k
+                idx = ids_l[pos]
+                chosen.append(idx)
+                first_time = times[pos] if edge_pos == 0 else start_time
+                yield from join(edge_pos + 1, idx, first_time)
+                chosen.pop()
+                if limit is not None and emitted >= limit:
+                    return
+        elif not bind_u:
+            mask = src_np[edge_pos][lo:hi] == assignment[pu]
+            for k in flatnonzero(mask).tolist():
+                pos = lo + k
+                dv = dsts_l[pos]
+                if dv in used:
+                    continue
+                assignment[pv] = dv
+                used.add(dv)
+                idx = ids_l[pos]
+                chosen.append(idx)
+                first_time = times[pos] if edge_pos == 0 else start_time
+                yield from join(edge_pos + 1, idx, first_time)
+                chosen.pop()
+                del assignment[pv]
+                used.discard(dv)
+                if limit is not None and emitted >= limit:
+                    return
+        else:
+            mask = dst_np[edge_pos][lo:hi] == assignment[pv]
+            for k in flatnonzero(mask).tolist():
+                pos = lo + k
+                du = srcs_l[pos]
+                if du in used:
+                    continue
+                assignment[pu] = du
+                used.add(du)
+                idx = ids_l[pos]
+                chosen.append(idx)
+                first_time = times[pos] if edge_pos == 0 else start_time
+                yield from join(edge_pos + 1, idx, first_time)
+                chosen.pop()
+                del assignment[pu]
+                used.discard(du)
+                if limit is not None and emitted >= limit:
+                    return
+
+    yield from join(0, start_index - 1, 0)
+
+
+def _join_buffers(
+    pattern: TemporalPattern,
+    arrays: tuple[int, Sequence[int], Sequence[int], Sequence[int]],
+    candidate_lists: list[Sequence[int]],
+    max_span: int | None,
+    limit: int | None,
+    start_index: int,
+    min_last_index: int,
+) -> Iterator[Match]:
+    """Scalar temporal index join over the flat columns (stdlib fallback).
+
     The twin of :func:`_join_objects` with per-edge object fetches
-    replaced by three list index reads; the control flow is mirrored
+    replaced by three buffer index reads; the control flow is mirrored
     line by line so the enumeration order is identical.
     """
     base, e_src, e_dst, e_time = arrays

@@ -148,6 +148,11 @@ def _extend_in_kernel(
     out-run of its (mapped) source for forward/inward growth, via the
     in-run of its (mapped) destination — with mapped sources skipped —
     for backward growth.  Self-loops are skipped as in the scan path.
+    The far endpoint of each CSR slot is read from the kernel's
+    ``out_dsts``/``in_srcs`` twin lists, not from the edge columns —
+    list reads beat buffer scalar access in this loop (the columns'
+    buffer layout earns its keep in the vectorized matcher and the
+    shared-memory corpus, not here).
 
     Emission is the dominant cost at data scale, so the inner loops cut
     it down: rows are built through the C-level ``tuple.__new__`` (they
@@ -157,10 +162,10 @@ def _extend_in_kernel(
     """
     out_indptr = kernel.out_indptr
     out_indices = kernel.out_indices
+    out_dsts = kernel.out_dsts
     in_indptr = kernel.in_indptr
     in_indices = kernel.in_indices
-    edge_src = kernel.edge_src
-    edge_dst = kernel.edge_dst
+    in_srcs = kernel.in_srcs
     labels = kernel.node_labels
     row = tuple.__new__
     local: dict[ExtensionKey, set[Embedding]] = {}
@@ -173,10 +178,10 @@ def _extend_in_kernel(
         for pi, dn in enumerate(nodes):
             hi = out_indptr[dn + 1]
             for j in range(bisect_right(out_indices, cut, out_indptr[dn], hi), hi):
-                idx = out_indices[j]
-                dst = edge_dst[idx]
+                dst = out_dsts[j]
                 if dst == dn:
                     continue
+                idx = out_indices[j]
                 dst_p = mapped(dst)
                 if dst_p is None:
                     key: ExtensionKey = ("f", pi, labels[dst])
@@ -190,10 +195,10 @@ def _extend_in_kernel(
                 rows.add(row(Embedding, (new_nodes, idx)))
             hi = in_indptr[dn + 1]
             for j in range(bisect_right(in_indices, cut, in_indptr[dn], hi), hi):
-                idx = in_indices[j]
-                src = edge_src[idx]
+                src = in_srcs[j]
                 if src == dn or mapped(src) is not None:
                     continue
+                idx = in_indices[j]
                 key = ("b", labels[src], pi)
                 rows = local_get(key)
                 if rows is None:

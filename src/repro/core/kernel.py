@@ -13,11 +13,19 @@ attribute accesses, and each label comparison hashes a string.
 arrays:
 
 * ``edge_src`` / ``edge_dst`` / ``edge_time`` — flat, time-sorted edge
-  columns (position ``i`` is edge index ``i``);
+  columns (position ``i`` is edge index ``i``), stored as contiguous
+  int64 buffers (:mod:`repro.core.buffers`): scalar loops read them at
+  near-list speed, the vectorized matcher wraps them zero-copy into
+  numpy arrays, and :mod:`repro.core.shm` maps the same layout into
+  shared memory for pickle-free parallel mining;
 * ``out_indptr``/``out_indices`` and ``in_indptr``/``in_indices`` — CSR
   adjacency: the edge indexes leaving/entering node ``n`` are
   ``indices[indptr[n]:indptr[n + 1]]``, ascending, so "incident edges
   after cut point ``c``" is one :func:`~bisect.bisect_right` away;
+* ``out_dsts`` / ``in_srcs`` — the far endpoint of each CSR slot
+  (``out_dsts[j] == edge_dst[out_indices[j]]``), kept as plain lists so
+  the growth hot loop reads the endpoint it branches on at list speed
+  instead of paying the buffer scalar-access tax per incident edge;
 * ``node_label_ids`` — node labels interned to dense ints through a
   :class:`LabelInterner`;
 * ``pair_ids`` — the one-edge substructure index re-keyed by interned
@@ -46,6 +54,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Sequence
 
+from repro.core.buffers import IntColumn
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (graph imports us)
     from repro.core.graph import TemporalGraph
 
@@ -54,8 +64,9 @@ __all__ = ["LabelInterner", "GraphKernel", "EdgeArrays", "build_kernels"]
 #: What an *edge-indexed source* hands the array join: ``(base, src, dst,
 #: time)`` where position ``i - base`` of each flat column describes the
 #: edge with global id ``i``.  Frozen graphs use ``base == 0``; the
-#: streaming window's base is its compaction offset.
-EdgeArrays = tuple[int, Sequence[int], Sequence[int], Sequence[int]]
+#: streaming window's base is its compaction offset.  Columns are
+#: contiguous int64 buffers (see :mod:`repro.core.buffers`).
+EdgeArrays = tuple[int, IntColumn, IntColumn, IntColumn]
 
 
 class LabelInterner:
@@ -120,9 +131,11 @@ class GraphKernel:
 
     Built once per ``(graph, interner)`` pair via :meth:`from_graph`
     (graphs cache their kernel — see :meth:`TemporalGraph.kernel`) and
-    read by every hot path afterwards.  All attributes are plain lists /
-    frozensets sharing storage with the owning graph where possible; the
-    kernel itself is immutable by convention.
+    read by every hot path afterwards.  The edge columns are contiguous
+    int64 buffers shared with the owning graph's :meth:`edge_arrays`
+    (possibly read-only shared-memory views); CSR runs and label-id
+    tables are plain lists / frozensets.  The kernel itself is immutable
+    by convention.
     """
 
     __slots__ = (
@@ -136,8 +149,10 @@ class GraphKernel:
         "node_label_ids",
         "out_indptr",
         "out_indices",
+        "out_dsts",
         "in_indptr",
         "in_indices",
+        "in_srcs",
         "pair_ids",
         "suffix_label_ids",
     )
@@ -145,9 +160,9 @@ class GraphKernel:
     def __init__(
         self,
         interner: LabelInterner,
-        edge_src: list[int],
-        edge_dst: list[int],
-        edge_time: list[int],
+        edge_src: IntColumn,
+        edge_dst: IntColumn,
+        edge_time: IntColumn,
         node_labels: Sequence[str],
         node_label_ids: list[int],
         out_indptr: list[int],
@@ -169,6 +184,8 @@ class GraphKernel:
         self.out_indices = out_indices
         self.in_indptr = in_indptr
         self.in_indices = in_indices
+        self.out_dsts = [edge_dst[j] for j in out_indices]
+        self.in_srcs = [edge_src[j] for j in in_indices]
         self.pair_ids = pair_ids
         self.suffix_label_ids = suffix_label_ids
 

@@ -13,8 +13,11 @@ exploits this to shard the search:
   partitioned into per-seed tasks (a seed = one ``(src label, dst
   label)`` pair passing the positive-support floor, in sorted order);
 * each pool worker owns a single :class:`~repro.core.miner._MiningRun`
-  built once from the training graphs (pickled under the ``spawn`` start
-  method, inherited copy-on-write under ``fork``) — its
+  built once from the training graphs — published through one
+  read-only shared-memory segment under the ``spawn`` start method
+  (workers attach to the corpus columns instead of unpickling a private
+  copy, see :mod:`repro.core.shm`), inherited copy-on-write under
+  ``fork`` — its
   :class:`~repro.core.graph_index.CandidateFilter` and subgraph-tester
   signature caches persist across all the seeds that worker mines, and
   so do its interned-label CSR kernels
@@ -66,6 +69,13 @@ from repro.core.miner import (
     MiningResult,
     MiningStats,
     _MiningRun,
+)
+from repro.core.shm import (
+    AttachedCorpus,
+    CorpusDescriptor,
+    SharedSeedTable,
+    attach_corpus,
+    publish_corpus,
 )
 
 __all__ = [
@@ -181,13 +191,16 @@ class _WorkerState:
         config: MinerConfig,
         positives: Sequence[TemporalGraph],
         negatives: Sequence[TemporalGraph],
-        seeds: dict[SeedKey, EmbeddingTable] | None = None,
+        seeds: "dict[SeedKey, EmbeddingTable] | SharedSeedTable | None" = None,
     ) -> None:
         for graph in list(positives) + list(negatives):
             if not graph.frozen:
                 graph.freeze()
         self.run = _MiningRun(config, positives, negatives)
-        self.seeds: dict[SeedKey, EmbeddingTable] = (
+        # pins the shared-memory mapping while the state is alive
+        # (attached graphs alias it); None for pickled/forked corpora
+        self.corpus: AttachedCorpus | None = None
+        self.seeds: "dict[SeedKey, EmbeddingTable] | SharedSeedTable" = (
             seeds
             if seeds is not None
             else seed_patterns(
@@ -226,6 +239,20 @@ def _init_worker(
 ) -> None:
     global _STATE
     _STATE = _WorkerState(config, positives, negatives, seeds=seeds)
+
+
+def _init_worker_shared(config: MinerConfig, descriptor: CorpusDescriptor) -> None:
+    """Pool initializer for the shared-memory corpus path.
+
+    Only the descriptor is pickled; the graphs and seed tables are
+    rebuilt over the parent's read-only segment (:func:`attach_corpus`).
+    """
+    global _STATE
+    corpus = attach_corpus(descriptor)
+    _STATE = _WorkerState(
+        config, corpus.positives, corpus.negatives, seeds=corpus.seeds
+    )
+    _STATE.corpus = corpus
 
 
 def _mine_seed_task(seed: SeedKey) -> "SeedResult":
@@ -364,6 +391,16 @@ class ParallelMiner:
     invariant to the worker count.  ``start_method`` overrides the
     multiprocessing start method (``fork`` where available, else
     ``spawn``).
+
+    ``share_memory`` controls corpus distribution for pooled runs:
+    ``None`` (default) publishes the training graphs and seed tables
+    through one read-only shared-memory segment (:mod:`repro.core.shm`)
+    under ``spawn`` — where workers would otherwise each unpickle a
+    private copy — and keeps plain copy-on-write inheritance under
+    ``fork``, where the pool initializer's arguments are never pickled
+    and a segment would only add copies.  ``True``/``False`` force the
+    respective path; either way the mined result is byte-identical
+    (the segment carries the exact frozen columns).
     """
 
     def __init__(
@@ -371,6 +408,7 @@ class ParallelMiner:
         config: MinerConfig | None = None,
         workers: int | None = None,
         start_method: str | None = None,
+        share_memory: bool | None = None,
     ) -> None:
         self.config = config or MinerConfig()
         self.config.validate()
@@ -378,6 +416,7 @@ class ParallelMiner:
         if self.workers < 1:
             raise MiningError("workers must be >= 1")
         self.start_method = start_method
+        self.share_memory = share_memory
 
     # ------------------------------------------------------------------
     def mine(
@@ -407,18 +446,38 @@ class ParallelMiner:
         # deadline (workers cannot see each other's clocks), and the
         # parent stops dispatching once the budget is spent, so the
         # wall-clock overshoot is bounded by the in-flight subtrees.
+        use_shm = self.share_memory
+        if use_shm is None:
+            use_shm = (
+                min(self.workers, len(tasks)) > 1
+                and resolve_start_method(self.start_method) == "spawn"
+            )
+        handle = None
         try:
+            if use_shm:
+                descriptor, handle = publish_corpus(
+                    positives, negatives, seeds=task_seeds
+                )
+                initializer, initargs = _init_worker_shared, (self.config, descriptor)
+            else:
+                initializer, initargs = _init_worker, (
+                    self.config, positives, negatives, task_seeds,
+                )
             results = run_sharded(
                 tasks,
                 _mine_seed_task,
                 workers=self.workers,
-                initializer=_init_worker,
-                initargs=(self.config, positives, negatives, task_seeds),
+                initializer=initializer,
+                initargs=initargs,
                 start_method=self.start_method,
                 deadline_seconds=self.config.max_seconds,
             )
         finally:
             _clear_worker_state()
+            if handle is not None:
+                # also runs when a worker crashed mid-map: nothing may
+                # outlive the pool in /dev/shm
+                handle.unlink()
         merged = merge_seed_results(results, self.config)
         if len(results) < len(tasks):
             merged.stats.timed_out = True

@@ -36,6 +36,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.core.buffers import new_column
 from repro.core.errors import ServingError
 from repro.core.graph import TemporalEdge, TemporalGraph
 from repro.core.graph_index import Signature
@@ -138,11 +139,13 @@ class StreamingGraph:
         # _srcs/_dsts/_times are the incrementally maintained kernel: the
         # flat edge columns the shared matcher joins over (see
         # repro.core.kernel.EdgeArrays), kept parallel to _store through
-        # every append / tail pop / compaction.
+        # every append / tail pop / compaction.  They are contiguous
+        # int64 buffers (repro.core.buffers) so the vectorized join can
+        # wrap them zero-copy, exactly like a frozen graph's columns.
         self._store: list[TemporalEdge] = []
-        self._srcs: list[int] = []
-        self._dsts: list[int] = []
-        self._times: list[int] = []
+        self._srcs = new_column()
+        self._dsts = new_column()
+        self._times = new_column()
         self._base = 0
         self._first_live = 0
         self._next_id = 0

@@ -137,7 +137,7 @@ class TestGraphKernel:
         graph.kernel()
         graph.edge_arrays()
         clone = pickle.loads(pickle.dumps(graph))
-        assert clone._kernel is None and clone._edge_srcs is None
+        assert clone._kernel is None and clone._col_src is None
         # the rebuilt kernel is equivalent
         rebuilt = clone.kernel()
         assert rebuilt.edge_src == graph.kernel().edge_src

@@ -7,13 +7,16 @@ count, on every bundled workload — including graphs whose concurrent
 edges were sequentialized with the ``random`` policy under a fixed seed.
 """
 
+import os
 import time
 
 import pytest
 
+import repro.core.parallel as parallel
 from repro.core.concurrent import sequentialize
 from repro.core.errors import MiningError
 from repro.core.graph import TemporalEdge
+from repro.core.growth import seed_patterns
 from repro.core.miner import MinedPattern, MinerConfig, MiningStats, TGMiner
 from repro.core.parallel import (
     ParallelMiner,
@@ -24,6 +27,7 @@ from repro.core.parallel import (
     run_sharded,
 )
 from repro.core.pattern import TemporalPattern
+from repro.core.shm import attach_corpus, publish_corpus
 from repro.syscall import build_training_data
 
 WORKER_COUNTS = (1, 2, 3, 4)
@@ -253,6 +257,130 @@ class TestParallelMinerApi:
     def test_default_start_method_resolution(self):
         assert resolve_start_method("spawn") == "spawn"
         assert resolve_start_method() in ("fork", "spawn")
+
+
+def _shm_entries():
+    """Names of live POSIX shared-memory segments (Linux)."""
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+class TestSharedMemoryCorpus:
+    """Lifecycle and identity contract of the zero-copy corpus segment."""
+
+    def _corpus(self):
+        positives = _concurrent_workload(seed=11, graphs=3, flip=False)
+        negatives = _concurrent_workload(seed=22, graphs=3, flip=True)
+        return positives, negatives
+
+    def test_attach_rebuilds_identical_corpus(self):
+        positives, negatives = self._corpus()
+        seeds = seed_patterns(positives + negatives, use_index=True)
+        descriptor, handle = publish_corpus(positives, negatives, seeds=seeds)
+        try:
+            corpus = attach_corpus(descriptor)
+            assert len(corpus.positives) == len(positives)
+            assert len(corpus.negatives) == len(negatives)
+            for original, rebuilt in zip(
+                positives + negatives, corpus.positives + corpus.negatives
+            ):
+                assert rebuilt.name == original.name
+                assert rebuilt.labels == original.labels
+                assert list(rebuilt.edge_arrays()[3]) == [
+                    e.time for e in original.edges
+                ]
+                assert [e.endpoints() for e in rebuilt.edges] == [
+                    e.endpoints() for e in original.edges
+                ]
+            # the lazy seed table materializes the exact embedding sets
+            assert set(corpus.seeds) == set(seeds)
+            for key in seeds:
+                assert corpus.seeds[key] == seeds[key], key
+        finally:
+            handle.unlink()
+
+    def test_attached_columns_are_read_only(self):
+        positives, negatives = self._corpus()
+        descriptor, handle = publish_corpus(positives, negatives)
+        try:
+            corpus = attach_corpus(descriptor)
+            _base, src, _dst, _time = corpus.positives[0].edge_arrays()
+            with pytest.raises(TypeError):
+                src[0] = 99
+            with pytest.raises(TypeError):
+                corpus._words[0] = 99
+        finally:
+            handle.unlink()
+
+    def test_unlink_is_idempotent_and_cleans_dev_shm(self):
+        before = _shm_entries()
+        positives, negatives = self._corpus()
+        descriptor, handle = publish_corpus(positives, negatives)
+        assert descriptor.shm_name.lstrip("/") in _shm_entries()
+        handle.unlink()
+        handle.unlink()  # second call must be a no-op
+        assert _shm_entries() <= before
+
+    @pytest.mark.parametrize("start_method", ["spawn", "fork"])
+    def test_shared_mining_identical_to_serial(self, start_method):
+        positives, negatives = self._corpus()
+        config = MinerConfig(max_edges=3, min_pos_support=0.5)
+        expected = mining_fingerprint(TGMiner(config).mine(positives, negatives))
+        before = _shm_entries()
+        for workers in (1, 2, 4):
+            result = ParallelMiner(
+                config,
+                workers=workers,
+                start_method=start_method,
+                share_memory=True,
+            ).mine(positives, negatives)
+            assert mining_fingerprint(result) == expected, (
+                f"workers={workers} method={start_method}"
+            )
+        assert _shm_entries() <= before, "leaked shared-memory segments"
+
+    def test_segment_unlinked_after_worker_crash(self, monkeypatch):
+        # fork inherits the monkeypatched worker state, so the crash
+        # happens inside a real pool worker mid-map
+        positives, negatives = self._corpus()
+        config = MinerConfig(max_edges=3, min_pos_support=0.5)
+        before = _shm_entries()
+
+        def explode(self, seed):
+            raise RuntimeError("worker crashed mid-seed")
+
+        monkeypatch.setattr(parallel._WorkerState, "mine_seed", explode)
+        miner = ParallelMiner(config, workers=2, start_method="fork", share_memory=True)
+        with pytest.raises(RuntimeError, match="worker crashed"):
+            miner.mine(positives, negatives)
+        assert _shm_entries() <= before, "crash leaked a segment"
+
+    def test_auto_policy_publishes_only_for_pooled_spawn(self, monkeypatch):
+        positives, negatives = self._corpus()
+        config = MinerConfig(max_edges=2, min_pos_support=0.5)
+        published = []
+        real_publish = parallel.publish_corpus
+
+        def counting_publish(*args, **kwargs):
+            published.append(True)
+            return real_publish(*args, **kwargs)
+
+        monkeypatch.setattr(parallel, "publish_corpus", counting_publish)
+        # fork: copy-on-write inheritance, a segment would only add copies
+        ParallelMiner(config, workers=2, start_method="fork").mine(positives, negatives)
+        assert not published
+        # single worker: inline run, nothing to share
+        ParallelMiner(config, workers=1, start_method="spawn").mine(
+            positives, negatives
+        )
+        assert not published
+        # pooled spawn: the case shared memory exists for
+        ParallelMiner(config, workers=2, start_method="spawn").mine(
+            positives, negatives
+        )
+        assert published == [True]
 
 
 class TestRunSharded:

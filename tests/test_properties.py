@@ -3,21 +3,30 @@
 * the three subgraph testers agree with the brute-force oracle;
 * every embedded pattern is found by every tester;
 * all six miner variants return identical results (Theorem 2);
-* sequence encodings are consistent with Lemma 5's premises.
+* sequence encodings are consistent with Lemma 5's premises;
+* the three temporal-join implementations (legacy objects, scalar
+  buffers, vectorized masks) enumerate byte-identical match sequences
+  on seeded adversarial logs, batch and streaming alike.
 """
 
 import random
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
+import repro.core.graph_index as graph_index
+from repro.core import buffers
 from repro.core.brute import contains_pattern, enumerate_matches
-from repro.core.graph import TemporalGraph
+from repro.core.concurrent import sequentialize
+from repro.core.graph import TemporalEdge, TemporalGraph
 from repro.core.graph_index import GraphIndexTester, find_matches
 from repro.core.miner import MinerConfig, TGMiner, miner_variant
 from repro.core.pattern import TemporalPattern
 from repro.core.sequence import encode
 from repro.core.subgraph import SequenceSubgraphTester
 from repro.core.vf2 import VF2SubgraphTester
+from repro.serving.streaming import StreamingGraph
+from repro.syscall.events import SyscallEvent
 
 from conftest import random_embedded_pattern, random_temporal_graph
 
@@ -145,3 +154,193 @@ class TestMinerProperties:
             )
         ).mine(pos, neg)
         assert pruned.best_score == unpruned.best_score
+
+
+# ----------------------------------------------------------------------
+# randomized byte-identity harness for the temporal-join implementations
+# ----------------------------------------------------------------------
+
+
+def _burst_log(rng: random.Random) -> TemporalGraph:
+    """Dense bursts between few nodes: match counts saturate any limit."""
+    graph = TemporalGraph(name="burst")
+    for _ in range(4):
+        graph.add_node(rng.choice("AB"))
+    for t in range(rng.randint(12, 20)):
+        u = rng.randrange(4)
+        v = (u + rng.randint(1, 3)) % 4
+        graph.add_edge(u, v, t)
+    return graph.freeze()
+
+
+def _all_one_label_log(rng: random.Random) -> TemporalGraph:
+    """Every node carries the same label: one giant candidate list."""
+    n = rng.randint(3, 6)
+    graph = TemporalGraph(name="onelabel")
+    for _ in range(n):
+        graph.add_node("X")
+    for t in range(rng.randint(8, 16)):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        while v == u:
+            v = rng.randrange(n)
+        graph.add_edge(u, v, t)
+    return graph.freeze()
+
+
+def _sparse_gap_log(rng: random.Random) -> TemporalGraph:
+    """Huge time gaps: small ``max_span`` caps leave empty scan windows."""
+    n = rng.randint(4, 6)
+    graph = TemporalGraph(name="gaps")
+    for _ in range(n):
+        graph.add_node(rng.choice("ABC"))
+    t = 0
+    for _ in range(rng.randint(6, 12)):
+        t += rng.choice((1, 1, 2, 1000))
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        while v == u:
+            v = rng.randrange(n)
+        graph.add_edge(u, v, t)
+    return graph.freeze()
+
+
+def _concurrent_log(rng: random.Random) -> TemporalGraph:
+    """Duplicate raw timestamps, sequentialized by the random policy."""
+    n = rng.randint(4, 6)
+    labels = [rng.choice("AB") for _ in range(n)]
+    edges = []
+    for i in range(rng.randint(8, 14)):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        while v == u:
+            v = rng.randrange(n)
+        # several edges share each raw timestamp -> concurrent blocks
+        edges.append(TemporalEdge(u, v, i // 3))
+    return sequentialize(
+        edges, labels, policy="random", seed=rng.randrange(10**6), name="conc"
+    )
+
+
+_ADVERSARIES = (_burst_log, _all_one_label_log, _sparse_gap_log, _concurrent_log)
+
+
+def _query_for(rng: random.Random, graph: TemporalGraph) -> TemporalPattern:
+    if rng.random() < 0.7:
+        return random_embedded_pattern(rng, graph, max_edges=4)
+    # a pattern that need not embed: relabel an extracted one
+    pattern = random_embedded_pattern(rng, graph, max_edges=3)
+    labels = [rng.choice("ABCX") for _ in pattern.labels]
+    return TemporalPattern(labels, pattern.edges)
+
+
+def _match_key(matches):
+    return [(m.nodes, m.edge_indexes) for m in matches]
+
+
+@pytest.fixture
+def restore_backend():
+    yield
+    buffers.force_backend(None)
+
+
+class TestJoinByteIdentityHarness:
+    """Seeded adversarial logs pin all join paths byte-identical.
+
+    Per case the legacy object join (``use_kernel=False``) is the
+    reference; the vectorized join (numpy backend, with the dispatch
+    thresholds zeroed so the mask branches run even on tiny windows)
+    and the scalar buffer join (forced ``array`` backend) must enumerate
+    the same match sequence under every span cap and limit — including
+    limits that cut a mask batch mid-iteration.
+    """
+
+    SEEDS = range(40)
+
+    def _check_graph(self, graph, rng, monkeypatch):
+        monkeypatch.setattr(graph_index, "_VECTOR_MIN_CANDIDATES", 0)
+        monkeypatch.setattr(graph_index, "_VECTOR_MIN_WINDOW", 0)
+        patterns = [_query_for(rng, graph) for _ in range(3)]
+        spans = (None, 0, rng.randint(1, 5), 10**6)
+        limits = (None, 1, rng.randint(2, 7))
+        for pattern in patterns:
+            for max_span in spans:
+                for limit in limits:
+                    reference = _match_key(
+                        find_matches(
+                            pattern,
+                            graph,
+                            max_span=max_span,
+                            limit=limit,
+                            use_kernel=False,
+                        )
+                    )
+                    for backend in ("numpy", "array"):
+                        if backend == "numpy" and not buffers.have_numpy():
+                            continue
+                        buffers.force_backend(backend)
+                        got = _match_key(
+                            find_matches(
+                                pattern, graph, max_span=max_span, limit=limit
+                            )
+                        )
+                        assert got == reference, (
+                            f"{backend} join diverged: span={max_span} "
+                            f"limit={limit} pattern={pattern.key()}"
+                        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_batch_joins_identical(self, seed, monkeypatch, restore_backend):
+        rng = random.Random(seed)
+        adversary = _ADVERSARIES[seed % len(_ADVERSARIES)]
+        self._check_graph(adversary(rng), rng, monkeypatch)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_streaming_window_joins_identical(
+        self, seed, monkeypatch, restore_backend
+    ):
+        """A live evicting window enumerates the same spans as its batch
+        rebuild, on every backend."""
+        monkeypatch.setattr(graph_index, "_VECTOR_MIN_CANDIDATES", 0)
+        monkeypatch.setattr(graph_index, "_VECTOR_MIN_WINDOW", 0)
+        rng = random.Random(1000 + seed)
+        adversary = _ADVERSARIES[seed % len(_ADVERSARIES)]
+        source = adversary(rng)
+        stream = StreamingGraph(window_span=rng.randint(4, 12), name="live")
+        events = [
+            SyscallEvent(
+                time=edge.time,
+                syscall="op",
+                src_key=f"n{edge.src}",
+                src_label=source.label(edge.src),
+                dst_key=f"n{edge.dst}",
+                dst_label=source.label(edge.dst),
+            )
+            for edge in source.edges
+        ]
+        # ingest in ragged batches so eviction/compaction actually happens
+        while events:
+            k = rng.randint(1, 4)
+            stream.ingest(events[:k])
+            events = events[k:]
+        batch = stream.as_temporal_graph(name="rebuild")
+        start = stream.first_live_index
+        pattern = _query_for(rng, batch)
+        for max_span in (None, rng.randint(1, 6)):
+            want = [
+                tuple(batch.edges[i].time for i in m.edge_indexes)
+                for m in find_matches(
+                    pattern, batch, max_span=max_span, use_kernel=False
+                )
+            ]
+            for backend in ("numpy", "array"):
+                if backend == "numpy" and not buffers.have_numpy():
+                    continue
+                buffers.force_backend(backend)
+                got = [
+                    tuple(stream.edges[i].time for i in m.edge_indexes)
+                    for m in find_matches(
+                        pattern, stream, max_span=max_span, start_index=start
+                    )
+                ]
+                assert got == want, f"{backend} streaming join diverged"
