@@ -80,6 +80,25 @@ SERVING_REPEATS = int(os.environ.get("BENCH_SERVING_REPEATS", 5))
 #: serving ablation (0 disables the floor; the smoke run keeps it on —
 #: the advantage is architectural, not core-count-dependent).
 MIN_STREAMING_SPEEDUP = float(os.environ.get("BENCH_MIN_STREAMING_SPEEDUP", 1.2))
+#: Simulated tenants the fleet benchmark's load generator replays (the
+#: multi-tenant sweep; nightly raises it to 100).
+FLEET_TENANTS = int(os.environ.get("BENCH_FLEET_TENANTS", 32))
+#: Behavior instances in each tenant's synthesized busy-host log.
+FLEET_INSTANCES = int(os.environ.get("BENCH_FLEET_INSTANCES", 2))
+#: Shard counts the fleet benchmark sweeps.
+FLEET_SHARDS = tuple(
+    int(s) for s in os.environ.get("BENCH_FLEET_SHARDS", "1,2,4").split(",")
+)
+#: Events per routed batch in the fleet replay.
+FLEET_BATCH = int(os.environ.get("BENCH_FLEET_BATCH", 256))
+#: Measurement repeats per shard count (best-of-N, like the serving bench).
+FLEET_REPEATS = int(os.environ.get("BENCH_FLEET_REPEATS", 3))
+#: Bounded per-shard queue depth for the fleet's process runner.
+FLEET_QUEUE_DEPTH = int(os.environ.get("BENCH_FLEET_QUEUE_DEPTH", 8))
+#: Aggregate-throughput speedup the largest shard count must show over one
+#: shard — only enforced with enough CPUs and >= 32 tenants (below that
+#: the sweep measures routing overhead, not parallelism).
+MIN_FLEET_SPEEDUP = float(os.environ.get("BENCH_MIN_FLEET_SPEEDUP", 1.5))
 #: Where BENCH_*.json result files land (CI uploads them as artifacts).
 JSON_DIR = Path(os.environ.get("BENCH_JSON_DIR", "."))
 

@@ -1,0 +1,215 @@
+"""Fleet sweep: multi-tenant detection throughput at 1/2/4 shards.
+
+A load generator synthesizes :data:`FLEET_TENANTS` tagged busy-host
+streams, round-robin interleaves them into one mixed stream (consecutive
+batches mix tenants — the router's workload), and replays it through a
+``runner="process"`` :class:`~repro.serving.DetectionFleet` at each
+shard count.  Reported per shard count: aggregate events/sec over router
+wall-clock and p95/p99 per-batch ingest latency from the merged shard
+reservoirs.
+
+Soundness bar, asserted on every run: fleet detections at every shard
+count are **exactly the union of per-tenant serial**
+:class:`~repro.serving.DetectionService` detections.  The speedup floor
+(``BENCH_MIN_FLEET_SPEEDUP`` at the largest shard count) is enforced
+only when the host has that many CPUs and the tenant count reaches 32 —
+below that, the sweep measures routing overhead, not parallelism — and
+the json records the decision as ``speedup_enforced`` so the perf-trend
+gate (``check_regression.py``) guards on it.
+
+Results land in ``BENCH_fleet.json``.
+"""
+
+import os
+import time
+
+from repro.experiments.harness import formulate_behavior_queries
+from repro.serving.fleet import (
+    DetectionFleet,
+    default_tenant_key,
+    simulate_tenant_streams,
+)
+from repro.serving.service import DetectionService
+
+from benchmarks.bench_common import (
+    FLEET_BATCH,
+    FLEET_INSTANCES,
+    FLEET_QUEUE_DEPTH,
+    FLEET_REPEATS,
+    FLEET_SHARDS,
+    FLEET_TENANTS,
+    MIN_FLEET_SPEEDUP,
+    MINING_SECONDS,
+    emit,
+    once,
+    write_json,
+)
+
+#: Behaviors whose mined queries form the registered slate (shallow
+#: mining — the benchmark measures serving, not mining).
+SLATE_SIZE = 3
+QUERY_EDGES = 3
+QUERIES_PER_BEHAVIOR = 2
+#: Seed for the tenant load generator.
+TENANT_SEED = 11
+
+
+def _formulate_slate(train, model):
+    behaviors = tuple(train.config.behaviors)[:SLATE_SIZE]
+    queries = []
+    for behavior in behaviors:
+        queries.extend(
+            formulate_behavior_queries(
+                train,
+                behavior,
+                max_edges=QUERY_EDGES,
+                top_k=QUERIES_PER_BEHAVIOR,
+                max_seconds=MINING_SECONDS,
+                model=model,
+            )
+        )
+    return queries
+
+
+def _serial_union(queries, events):
+    """Reference answer: one serial service per tenant, detections unioned."""
+    per_tenant: dict = {}
+    for event in events:
+        per_tenant.setdefault(default_tenant_key(event), []).append(event)
+    union = set()
+    for tenant, tenant_events in per_tenant.items():
+        service = DetectionService()
+        service.register_all(queries)
+        for _batch, detections in service.replay(tenant_events, FLEET_BATCH):
+            union.update(
+                (tenant, d.query, d.start, d.end) for d in detections
+            )
+    return union, len(per_tenant)
+
+
+def _fleet_run(queries, events, shards):
+    """One timed replay at a shard count; returns (detections, stats, wall)."""
+    fleet = DetectionFleet(
+        shards=shards,
+        runner="process",
+        queue_depth=FLEET_QUEUE_DEPTH,
+    )
+    fleet.register_all(queries)
+    fleet.start()  # spawn + slate publication excluded from the timed window
+    try:
+        union = set()
+        started = time.perf_counter()
+        for _batch, detections in fleet.replay(events, FLEET_BATCH):
+            union.update(d.key for d in detections)
+        wall = time.perf_counter() - started
+        stats = fleet.stats
+    finally:
+        fleet.close()
+    return union, stats, wall
+
+
+def test_fleet_shard_sweep(benchmark, train, model):
+    queries = _formulate_slate(train, model)
+    assert queries, "query formulation mined nothing; raise BENCH knobs"
+    events = simulate_tenant_streams(
+        tenants=FLEET_TENANTS,
+        instances=FLEET_INSTANCES,
+        seed=TENANT_SEED,
+        chunk=FLEET_BATCH // 4 or 1,
+    )
+
+    def run():
+        reference, tenants = _serial_union(queries, events)
+        results = {}
+        for shards in FLEET_SHARDS:
+            best = None
+            for _repeat in range(FLEET_REPEATS):
+                union, stats, wall = _fleet_run(queries, events, shards)
+                assert union == reference, (
+                    f"fleet detections at {shards} shard(s) diverge from the "
+                    "per-tenant serial union"
+                )
+                if best is None or wall < best[1]:
+                    best = (stats, wall)
+            results[shards] = best
+        return reference, tenants, results
+
+    reference, tenants, results = once(benchmark, run)
+
+    emit("\n=== Fleet sweep: multi-tenant detection at 1/2/4 shards ===")
+    emit(
+        f"{FLEET_TENANTS} tenants x {FLEET_INSTANCES} instances -> "
+        f"{len(events)} events, {len(queries)} queries, batches of "
+        f"{FLEET_BATCH}, queue depth {FLEET_QUEUE_DEPTH}, "
+        f"{len(reference)} expected detections"
+    )
+    emit(
+        f"{'shards':>6s} {'seconds':>9s} {'events/s':>10s} {'p95 ms':>8s} "
+        f"{'p99 ms':>8s} {'backpressure':>12s}"
+    )
+    per_shard_json = {}
+    for shards, (stats, wall) in results.items():
+        rate = len(events) / max(wall, 1e-9)
+        p95 = stats.latency_percentile(0.95) * 1000
+        p99 = stats.latency_percentile(0.99) * 1000
+        emit(
+            f"{shards:6d} {wall:9.3f} {rate:10,.0f} {p95:8.2f} {p99:8.2f} "
+            f"{stats.backpressure_waits:12d}"
+        )
+        per_shard_json[str(shards)] = {
+            "seconds": wall,
+            "events_per_second": rate,
+            "latency_p95_ms": p95,
+            "latency_p99_ms": p99,
+            "backpressure_waits": stats.backpressure_waits,
+            "late_dropped": stats.late_dropped,
+        }
+
+    single = min(FLEET_SHARDS)
+    widest = max(FLEET_SHARDS)
+    single_wall = results[single][1]
+    widest_wall = results[widest][1]
+    fleet_speedup = single_wall / max(widest_wall, 1e-9)
+    cpu_count = os.cpu_count() or 1
+    speedup_enforced = (
+        MIN_FLEET_SPEEDUP > 0
+        and cpu_count >= widest
+        and FLEET_TENANTS >= 32
+    )
+    status = (
+        "enforced"
+        if speedup_enforced
+        else f"informational: {cpu_count} CPUs, {FLEET_TENANTS} tenants"
+    )
+    emit(
+        f"fleet speedup {fleet_speedup:.2f}x at {widest} shards over "
+        f"{single} ({status})"
+    )
+
+    write_json(
+        "BENCH_fleet.json",
+        {
+            "tenants": FLEET_TENANTS,
+            "instances_per_tenant": FLEET_INSTANCES,
+            "events": len(events),
+            "batch_size": FLEET_BATCH,
+            "queue_depth": FLEET_QUEUE_DEPTH,
+            "queries": len(queries),
+            "detections": len(reference),
+            "shard_counts": list(FLEET_SHARDS),
+            "per_shard": per_shard_json,
+            "events_per_second": per_shard_json[str(widest)]["events_per_second"],
+            "latency_p95_ms": per_shard_json[str(widest)]["latency_p95_ms"],
+            "latency_p99_ms": per_shard_json[str(widest)]["latency_p99_ms"],
+            "fleet_speedup": fleet_speedup,
+            "min_speedup_required": MIN_FLEET_SPEEDUP,
+            "speedup_enforced": speedup_enforced,
+            "cpu_count": cpu_count,
+            "identical": True,  # asserted per shard count inside run()
+        },
+    )
+    if speedup_enforced:
+        assert fleet_speedup >= MIN_FLEET_SPEEDUP, (
+            f"fleet scaling regressed: {fleet_speedup:.2f}x at {widest} "
+            f"shards < {MIN_FLEET_SPEEDUP}x over {single} shard(s)"
+        )

@@ -75,6 +75,16 @@ METRICS = [
         "higher_better",
         guard="match_speedup_enforced",
     ),
+    Metric("BENCH_fleet.json", "identical", "bool_true"),
+    # aggregate-throughput scaling at the widest shard count: a
+    # within-run ratio, but only meaningful with enough CPUs and tenants
+    # (the bench records that as the guard)
+    Metric(
+        "BENCH_fleet.json", "fleet_speedup", "higher_better", guard="speedup_enforced"
+    ),
+    Metric("BENCH_fleet.json", "events_per_second", "absolute"),
+    Metric("BENCH_fleet.json", "latency_p95_ms", "absolute"),
+    Metric("BENCH_fleet.json", "latency_p99_ms", "absolute"),
     Metric("BENCH_parallel.json", "identical", "bool_true"),
     Metric(
         "BENCH_parallel.json", "seed_speedup", "higher_better", guard="speedup_enforced"

@@ -11,8 +11,10 @@ The package ships five layers:
   precision/recall evaluation;
 * :mod:`repro.serving` — the streaming half: a sliding-window
   :class:`~repro.serving.streaming.StreamingGraph`, the multi-query
-  :class:`~repro.serving.registry.QueryRegistry`, and the
-  :class:`~repro.serving.service.DetectionService` facade;
+  :class:`~repro.serving.registry.QueryRegistry`, the
+  :class:`~repro.serving.service.DetectionService` facade, and the
+  sharded multi-tenant :class:`~repro.serving.fleet.DetectionFleet` —
+  both behind one :class:`~repro.serving.Ingestor` protocol;
 * :mod:`repro.api` — the stable SDK tying them together:
   :class:`~repro.api.workspace.Workspace` (generate → mine → query →
   serve) and :class:`~repro.api.model.BehaviorModel`, the versioned
@@ -66,8 +68,13 @@ from repro.query import QueryEngine
 from repro.serving import (
     BehaviorQuery,
     Detection,
+    DetectionFleet,
     DetectionService,
+    FleetDetection,
+    FleetStats,
+    Ingestor,
     QueryRegistry,
+    ServiceStats,
     StreamingGraph,
 )
 
@@ -91,8 +98,13 @@ __all__ = [
     # serving layer
     "BehaviorQuery",
     "Detection",
+    "DetectionFleet",
     "DetectionService",
+    "FleetDetection",
+    "FleetStats",
+    "Ingestor",
     "QueryRegistry",
+    "ServiceStats",
     "StreamingGraph",
     # SDK (repro.api)
     "Workspace",

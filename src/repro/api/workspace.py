@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.api.model import BehaviorModel, BehaviorRecord
 from repro.core.graph import TemporalGraph
@@ -43,6 +43,7 @@ from repro.experiments.harness import (
 )
 from repro.query.engine import QueryEngine
 from repro.query.evaluation import PrecisionRecall, evaluate_spans, pool_spans
+from repro.serving import DetectionFleet, Ingestor
 from repro.serving.service import DetectionService
 from repro.syscall.collector import (
     TestData,
@@ -50,6 +51,7 @@ from repro.syscall.collector import (
     build_test_data,
     build_training_data,
 )
+from repro.syscall.events import SyscallEvent
 
 __all__ = ["Workspace", "EvaluationReport", "BehaviorEvaluation"]
 
@@ -274,18 +276,66 @@ class Workspace:
         window_span: int | None = None,
         behaviors: Sequence[str] | None = None,
         use_prefilter: bool = True,
-    ) -> DetectionService:
-        """Build a streaming service with the model's queries registered.
+        shards: int | None = None,
+        **fleet_options,
+    ) -> Ingestor:
+        """Build a streaming deployment with the model's queries registered.
 
-        The returned :class:`DetectionService` is ready to
+        With ``shards`` unset this returns a single-window
+        :class:`DetectionService`; with ``shards`` set it delegates to
+        :meth:`serve_fleet`.  Either way the result satisfies the
+        :class:`~repro.serving.Ingestor` protocol and is ready to
         ``ingest``/``replay``; a model mined (or loaded) in this process
         serves exactly the queries the bundle describes, so detections
         in a fresh serving process are span-identical to the mining
         process's batch :meth:`query` over the same log.
         """
+        if shards is not None:
+            return self.serve_fleet(
+                model,
+                shards=shards,
+                window_span=window_span,
+                behaviors=behaviors,
+                use_prefilter=use_prefilter,
+                **fleet_options,
+            )
+        if fleet_options:
+            unexpected = ", ".join(sorted(fleet_options))
+            raise TypeError(
+                f"serve() options only valid with shards=: {unexpected}"
+            )
         service = DetectionService(window_span=window_span, use_prefilter=use_prefilter)
         service.register_all(model.queries(behaviors))
         return service
+
+    def serve_fleet(
+        self,
+        model: BehaviorModel,
+        shards: int = 1,
+        window_span: int | None = None,
+        behaviors: Sequence[str] | None = None,
+        use_prefilter: bool = True,
+        **fleet_options,
+    ) -> DetectionFleet:
+        """Build a sharded multi-tenant fleet serving the model's queries.
+
+        Events route by tenant key (``src_key`` prefix before ``"|"`` by
+        default) to per-tenant services spread across ``shards`` shards;
+        fleet detections are exactly the union of what per-tenant serial
+        services would report.  Extra keyword options (``runner``,
+        ``queue_depth``, ``tenant_key``, ``assign``, ``start_method``)
+        forward to :class:`~repro.serving.DetectionFleet`.  Remember to
+        ``close()`` the fleet (or use it as a context manager) when the
+        ``runner="process"`` shards should shut down.
+        """
+        fleet = DetectionFleet(
+            shards=shards,
+            window_span=window_span,
+            use_prefilter=use_prefilter,
+            **fleet_options,
+        )
+        fleet.register_all(model.queries(behaviors))
+        return fleet
 
     # ------------------------------------------------------------------
     # convenience passthroughs
@@ -297,11 +347,16 @@ class Workspace:
 
     @staticmethod
     def replay(
-        service: DetectionService,
-        events: Iterable,
+        service: Ingestor,
+        events: Sequence[SyscallEvent],
         batch_size: int = 256,
     ) -> list:
-        """Drain a whole event log through a service; returns detections."""
+        """Drain a whole event log through any :class:`Ingestor`.
+
+        Returns the accumulated detections —
+        :class:`~repro.serving.Detection` from a service,
+        :class:`~repro.serving.FleetDetection` from a fleet.
+        """
         detections = []
         for _batch, found in service.replay(list(events), batch_size):
             detections.extend(found)

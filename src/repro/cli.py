@@ -40,6 +40,13 @@ from repro.core.errors import ReproError
 from repro.core.miner import MinerConfig, miner_variant
 from repro.core.parallel import default_workers
 from repro.datasets.io import load_events_jsonl, save_events_jsonl
+from repro.serving.fleet import (
+    DEFAULT_QUEUE_DEPTH,
+    TENANT_SEPARATOR,
+    DetectionFleet,
+    simulate_tenant_streams,
+    tenant_key_for_separator,
+)
 from repro.serving.registry import load_queries_jsonl, save_queries_jsonl
 from repro.serving.service import DetectionService
 from repro.syscall import BEHAVIOR_NAMES, SIZE_CLASSES
@@ -202,6 +209,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the registry's shared signature prefilter "
         "(--no-index disables; detections are identical either way)",
     )
+    det.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve a multi-tenant fleet: route events by tenant key "
+        "across N independent detection shards (default: one plain "
+        "single-window service)",
+    )
+    det.add_argument(
+        "--tenants",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --instances: synthesize N tagged tenant streams "
+        "(tenant-000|..., one busy-host log each) and interleave them",
+    )
+    det.add_argument(
+        "--tenant-key",
+        default=TENANT_SEPARATOR,
+        metavar="SEP",
+        help="separator splitting the tenant id off each entity key "
+        f"(default {TENANT_SEPARATOR!r}; untagged events route to one "
+        "default tenant)",
+    )
+    det.add_argument(
+        "--runner",
+        choices=("inline", "process"),
+        default="inline",
+        help="fleet shard runner: in-process shards, or one worker "
+        "process per shard with bounded queues and backpressure",
+    )
+    det.add_argument(
+        "--queue-depth",
+        type=int,
+        default=DEFAULT_QUEUE_DEPTH,
+        metavar="BATCHES",
+        help="bounded per-shard input queue for --runner process "
+        f"(default {DEFAULT_QUEUE_DEPTH})",
+    )
     det.add_argument("--json", dest="json_out", default=None, help="write summary JSON")
     det.add_argument(
         "--profile",
@@ -350,7 +397,6 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         if not queries:
             print(f"error: no queries in model bundle {args.model}", file=sys.stderr)
             return 2
-        service = ws.serve(model, window_span=args.window, use_prefilter=args.index)
     else:
         queries_path = Path(args.queries)
         if not queries_path.exists():
@@ -360,8 +406,25 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         if not queries:
             print(f"error: no queries in {queries_path}", file=sys.stderr)
             return 2
-        service = DetectionService(window_span=args.window, use_prefilter=args.index)
-        service.register_all(queries)
+
+    fleet_mode = args.shards is not None or args.tenants is not None
+    if fleet_mode:
+        shards = args.shards if args.shards is not None else 1
+        if shards < 1:
+            print("error: --shards must be >= 1", file=sys.stderr)
+            return 2
+        ingestor = DetectionFleet(
+            shards=shards,
+            tenant_key=tenant_key_for_separator(args.tenant_key),
+            window_span=args.window,
+            use_prefilter=args.index,
+            runner=args.runner,
+            queue_depth=args.queue_depth,
+        )
+    else:
+        ingestor = DetectionService(window_span=args.window, use_prefilter=args.index)
+    ingestor.register_all(queries)
+
     if args.log:
         log_path = Path(args.log)
         if not log_path.exists():
@@ -372,55 +435,65 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         if args.instances < 1:
             print("error: --instances must be >= 1", file=sys.stderr)
             return 2
-        events = ws.generate_test(instances=args.instances, seed=args.seed).events
+        if args.tenants is not None:
+            if args.tenants < 1:
+                print("error: --tenants must be >= 1", file=sys.stderr)
+                return 2
+            events = simulate_tenant_streams(
+                tenants=args.tenants, instances=args.instances, seed=args.seed
+            )
+        else:
+            events = ws.generate_test(instances=args.instances, seed=args.seed).events
     if args.save_log:
         save_events_jsonl(events, args.save_log)
         print(f"wrote {len(events)} events to {args.save_log}")
 
     per_query: dict[str, int] = {q.name: 0 for q in queries}
-    for _batch, detections in service.replay(events, args.batch_size):
-        for detection in detections:
-            per_query[detection.query] += 1
+    try:
+        if fleet_mode:
+            ingestor.start()
+        for _batch, detections in ingestor.replay(events, args.batch_size):
+            for detection in detections:
+                per_query[detection.query] += 1
+        info = ingestor.stats.as_dict()
+    finally:
+        ingestor.close()
 
-    stats = service.stats
-    p50 = stats.latency_percentile(0.5)
-    p95 = stats.latency_percentile(0.95)
-    late = service.graph.stats.late_dropped
+    late = info["late_dropped"]
+    latency = info["latency_ms"]
     print(
-        f"replayed {stats.events} events in {stats.batches} batches "
+        f"replayed {info['events']} events in {info['batches']} batches "
         f"({args.batch_size}/batch), window span "
-        f"{service.window_span}, {len(queries)} registered queries"
+        f"{ingestor.window_span}, {len(queries)} registered queries"
         + (f"; {late} events arrived too late and were DROPPED" if late else "")
     )
+    if fleet_mode:
+        print(
+            f"fleet: {info['shards']} shard(s) [{args.runner}], "
+            f"{info['tenants']} tenant(s), {info['routed_batches']} routed "
+            f"batches, {info['backpressure_waits']} backpressure waits"
+        )
     print(
-        f"throughput {stats.events_per_second:,.0f} events/s; per-batch "
-        f"latency p50 {p50 * 1000:.2f}ms p95 {p95 * 1000:.2f}ms "
-        f"max {max(stats.batch_seconds, default=0.0) * 1000:.2f}ms"
+        f"throughput {info['events_per_second']:,.0f} events/s; per-batch "
+        f"latency p50 {latency['p50']:.2f}ms p95 {latency['p95']:.2f}ms "
+        f"max {latency['max']:.2f}ms"
     )
     print(
-        f"prefilter answered {stats.queries_prefiltered} of "
-        f"{stats.queries_prefiltered + stats.queries_evaluated} query-batch "
+        f"prefilter answered {info['queries_prefiltered']} of "
+        f"{info['queries_prefiltered'] + info['queries_evaluated']} query-batch "
         "evaluations by signature alone"
     )
-    print(f"\n{stats.detections} detections:")
+    print(f"\n{info['detections']} detections:")
     for name, count in per_query.items():
         print(f"  {name:30s} {count:6d}")
     if args.json_out:
         payload = {
-            "events": stats.events,
-            "batches": stats.batches,
+            "kind": info["kind"],
             "batch_size": args.batch_size,
-            "window_span": service.window_span,
+            "window_span": ingestor.window_span,
             "queries": len(queries),
-            "detections": stats.detections,
             "per_query": per_query,
-            "events_per_second": stats.events_per_second,
-            "latency_p50_ms": p50 * 1000,
-            "latency_p95_ms": p95 * 1000,
-            "queries_prefiltered": stats.queries_prefiltered,
-            "queries_evaluated": stats.queries_evaluated,
-            "evicted": service.graph.stats.evicted,
-            "late_dropped": late,
+            "stats": info,
         }
         Path(args.json_out).write_text(json.dumps(payload, indent=2))
         print(f"wrote {args.json_out}")

@@ -65,8 +65,12 @@ __all__ = [
     "AttachedCorpus",
     "GraphBlock",
     "SharedSeedTable",
+    "BlobDescriptor",
+    "AttachedBlob",
     "publish_corpus",
     "attach_corpus",
+    "publish_blob",
+    "attach_blob",
 ]
 
 SeedKey = tuple[str, str]
@@ -202,6 +206,82 @@ class AttachedCorpus:
     # the mmap (Linux) or SharedMemory (fallback) keeping the bytes alive
     _mapping: object
     _words: memoryview
+
+
+@dataclass(frozen=True)
+class BlobDescriptor:
+    """Where an opaque byte payload lives: segment name + true length.
+
+    The length travels in the descriptor because shared-memory segments
+    round their size up to the page, so the attachment cannot recover the
+    payload boundary from the mapping alone.
+    """
+
+    shm_name: str
+    size: int
+
+
+@dataclass
+class AttachedBlob:
+    """A worker's read-only view of a published byte payload.
+
+    ``data`` aliases the mapping — keep the object alive while the bytes
+    are in use, exactly like :class:`AttachedCorpus`.
+    """
+
+    data: memoryview
+    _mapping: object
+
+    def to_bytes(self) -> bytes:
+        """Copy the payload out (safe to use after the mapping dies)."""
+        return bytes(self.data)
+
+
+def publish_blob(payload: bytes) -> tuple[BlobDescriptor, CorpusHandle]:
+    """Publish one opaque byte payload through a shared-memory segment.
+
+    The small-descriptor/parent-owned-handle lifecycle is identical to
+    :func:`publish_corpus` — this is the same spawn machinery applied to
+    non-columnar cargo (the detection fleet ships its registered query
+    slate this way: serialized once, attached read-only by every shard
+    worker instead of being pickled per worker).
+    """
+    shm = shared_memory.SharedMemory(create=True, size=max(len(payload), 1))
+    try:
+        shm.buf[: len(payload)] = payload
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    return BlobDescriptor(shm_name=shm.name, size=len(payload)), CorpusHandle(shm)
+
+
+def attach_blob(descriptor: BlobDescriptor) -> AttachedBlob:
+    """Map a published payload read-only (same discipline as corpora).
+
+    Linux attaches via a read-only mmap of the segment's ``/dev/shm``
+    file, sidestepping the resource tracker entirely; the fallback
+    attaches through :class:`~multiprocessing.shared_memory.SharedMemory`
+    and unregisters, as :func:`attach_corpus` does.  Attachers never
+    unlink — the publisher's :class:`CorpusHandle` owns the segment.
+    """
+    mapping: object
+    path = os.path.join("/dev/shm", descriptor.shm_name.lstrip("/"))
+    if os.path.exists(path):
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            mapping = mmap.mmap(fd, 0, access=mmap.ACCESS_READ)
+        finally:
+            os.close(fd)
+        buf = memoryview(mapping)
+    else:  # pragma: no cover - non-Linux fallback
+        shm = shared_memory.SharedMemory(name=descriptor.shm_name)
+        resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
+        mapping = shm
+        buf = shm.buf
+    return AttachedBlob(
+        data=buf[: descriptor.size].toreadonly(), _mapping=mapping
+    )
 
 
 def publish_corpus(

@@ -1,0 +1,858 @@
+"""Sharded multi-tenant detection fleet behind the single-service ingest API.
+
+One :class:`~repro.serving.service.DetectionService` owns one sliding
+window — fine for one host's stream, hopeless for a deployment
+monitoring many tenants' event streams at once.  :class:`DetectionFleet`
+scales the *data plane* by partitioning it while keeping the *query
+surface* single (the partition/provenance discipline of the LSST
+multi-petabyte-database design): callers still speak the
+:class:`~repro.serving.Ingestor` surface — ``register_all`` /
+``ingest`` / ``replay`` / ``stats`` / ``close`` — and the fleet routes
+each event to a shard by its **tenant key**, where a per-tenant
+:class:`DetectionService` (own window, own dedup state) evaluates it.
+
+Correctness contract
+--------------------
+Fleet detections are **exactly the union of per-tenant serial
+``DetectionService`` detections** — for any shard count, any routing of
+tenants to shards, and any batching of the mixed stream — because a
+shard never mixes tenants into one window: each tenant's events reach
+its own service in arrival order, and services on different shards share
+nothing.  ``tests/test_fleet.py`` asserts the identity property-style;
+``benchmarks/bench_fleet.py`` re-asserts it inside the gated benchmark.
+
+Shard runners
+-------------
+* ``runner="inline"`` (default): shards are plain in-process tenant
+  maps.  Zero parallelism, zero serialization — the correctness
+  reference, and the right choice for tests and modest streams.
+* ``runner="process"``: one worker process per shard, fed through a
+  **bounded** input queue (``queue_depth`` batches).  A full queue is
+  *backpressure*: the router counts the stall
+  (``FleetStats.backpressure_waits``) and blocks — draining finished
+  results while it waits — instead of buffering without bound.  The
+  registered query slate is serialized once and published through a
+  read-only shared-memory segment
+  (:func:`repro.core.shm.publish_blob`), the same spawn machinery the
+  parallel miner uses for its corpus, so N shards attach one copy
+  instead of unpickling N.  Per-batch results carry additive counter
+  deltas (:meth:`ServiceStats.counters`), which the router folds into
+  parent-side per-shard :class:`ServiceStats` — fleet stats are always
+  readable without a barrier.
+
+Late arrivals are dropped *per tenant* by each tenant's own window
+(never because a neighbour tenant's clock ran ahead) and roll up into
+``FleetStats.late_dropped``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import queue as _queue
+import time as _time
+import traceback
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+from repro.core.errors import ServingError
+from repro.core.parallel import resolve_start_method
+from repro.core.shm import BlobDescriptor, attach_blob, publish_blob
+from repro.serving.registry import BehaviorQuery, query_from_dict, query_to_dict
+from repro.serving.service import (
+    Detection,
+    DetectionService,
+    ServiceStats,
+    merged_latency_percentile,
+)
+from repro.syscall.events import SyscallEvent
+
+__all__ = [
+    "DetectionFleet",
+    "FleetDetection",
+    "FleetStats",
+    "TENANT_SEPARATOR",
+    "DEFAULT_TENANT",
+    "default_tenant_key",
+    "tenant_key_for_separator",
+    "shard_for_tenant",
+    "tag_tenant_events",
+    "interleave_streams",
+    "simulate_tenant_streams",
+]
+
+#: Separator splitting the tenant id off a tagged entity key
+#: (``"tenant-007|proc:1234"``).
+TENANT_SEPARATOR = "|"
+
+#: Tenant that untagged events route to, so a single-host log replays
+#: through a fleet unchanged (everything lands on one shard's service).
+DEFAULT_TENANT = "default"
+
+#: Bounded input-queue depth per process shard, in batches.
+DEFAULT_QUEUE_DEPTH = 8
+
+
+def tenant_key_for_separator(separator: str) -> Callable[[SyscallEvent], str]:
+    """Build a tenant-key function splitting a prefix off ``src_key``.
+
+    Events whose source key carries no separator map to
+    :data:`DEFAULT_TENANT` — a whole untagged log is one tenant.
+    """
+    if not separator:
+        raise ServingError("tenant-key separator must be non-empty")
+
+    def tenant_key(event: SyscallEvent) -> str:
+        key = event.src_key
+        head, sep, _ = key.partition(separator)
+        return head if sep else DEFAULT_TENANT
+
+    return tenant_key
+
+
+#: The default routing key: ``src_key`` prefix before ``"|"``.
+default_tenant_key = tenant_key_for_separator(TENANT_SEPARATOR)
+
+
+def shard_for_tenant(tenant: str, shards: int) -> int:
+    """Stable tenant → shard assignment (CRC32, identical across
+    processes and runs — unlike ``hash()``, which is salted per
+    interpreter)."""
+    return zlib.crc32(tenant.encode("utf-8")) % shards
+
+
+def tag_tenant_events(
+    tenant: str, events: Sequence[SyscallEvent]
+) -> list[SyscallEvent]:
+    """Prefix every entity key with ``tenant|`` so the router can split
+    a mixed stream back into per-tenant substreams.
+
+    Tagging both endpoints keeps each tenant's entity namespace disjoint;
+    labels (what patterns match on) are untouched.
+    """
+    if TENANT_SEPARATOR in tenant:
+        raise ServingError(
+            f"tenant id {tenant!r} must not contain {TENANT_SEPARATOR!r}"
+        )
+    prefix = f"{tenant}{TENANT_SEPARATOR}"
+    return [
+        SyscallEvent(
+            time=event.time,
+            syscall=event.syscall,
+            src_key=prefix + event.src_key,
+            src_label=event.src_label,
+            dst_key=prefix + event.dst_key,
+            dst_label=event.dst_label,
+        )
+        for event in events
+    ]
+
+
+def interleave_streams(
+    streams: Sequence[Sequence[SyscallEvent]], chunk: int = 32
+) -> list[SyscallEvent]:
+    """Round-robin merge of event streams, ``chunk`` events at a time.
+
+    Per-stream order is preserved (each tenant's events stay in arrival
+    order); across streams the merge deliberately mixes tenants within
+    every ingest batch — the fleet's routing workload.
+    """
+    if chunk < 1:
+        raise ServingError("interleave chunk must be >= 1")
+    cursors = [0] * len(streams)
+    merged: list[SyscallEvent] = []
+    remaining = sum(len(stream) for stream in streams)
+    while remaining:
+        for i, stream in enumerate(streams):
+            take = stream[cursors[i] : cursors[i] + chunk]
+            merged.extend(take)
+            cursors[i] += len(take)
+            remaining -= len(take)
+    return merged
+
+
+def simulate_tenant_streams(
+    tenants: int,
+    instances: int,
+    seed: int = 11,
+    chunk: int = 32,
+    behaviors: Sequence[str] | None = None,
+) -> list[SyscallEvent]:
+    """Load-generator input: ``tenants`` tagged busy-host logs, interleaved.
+
+    Each tenant gets its own :func:`~repro.syscall.collector.build_test_data`
+    log (seed ``seed + t``) tagged with ``tenant-<t>``; the streams are
+    round-robin interleaved so consecutive ingest batches mix tenants.
+    Used by ``repro detect --shards --tenants`` and the fleet benchmark.
+    """
+    from repro.syscall.collector import build_test_data
+
+    if tenants < 1:
+        raise ServingError("tenants must be >= 1")
+    overrides: dict = {}
+    if behaviors is not None:
+        overrides["behaviors"] = tuple(behaviors)
+    streams = []
+    for t in range(tenants):
+        data = build_test_data(instances=instances, seed=seed + t, **overrides)
+        streams.append(tag_tenant_events(f"tenant-{t:03d}", data.events))
+    return interleave_streams(streams, chunk=chunk)
+
+
+@dataclass(frozen=True)
+class FleetDetection:
+    """One identified behavior instance, attributed to its tenant + shard.
+
+    ``batch`` is the *tenant-local* batch index (the tenant service's own
+    ingest counter), deterministic for any shard count or routing.
+    """
+
+    tenant: str
+    shard: int
+    query_id: int
+    query: str
+    start: int
+    end: int
+    batch: int
+
+    @property
+    def span(self) -> tuple[int, int]:
+        """The identified time interval on the tenant's own clock."""
+        return (self.start, self.end)
+
+    @property
+    def key(self) -> tuple[str, str, int, int]:
+        """Routing-invariant identity: ``(tenant, query, start, end)``."""
+        return (self.tenant, self.query, self.start, self.end)
+
+
+@dataclass(frozen=True)
+class FleetStats:
+    """Fleet-level rollup over parent-side per-shard :class:`ServiceStats`.
+
+    ``shards`` holds live references to the router's per-shard stats —
+    read, don't mutate.  Aggregates are sums; tail latency merges the
+    shard reservoirs count-weighted
+    (:func:`~repro.serving.service.merged_latency_percentile`).
+
+    ``events_per_second`` here divides by **router wall-clock**
+    (``wall_seconds``: time spent inside fleet calls, during which
+    process shards work concurrently), not by summed per-shard ingest
+    seconds — the number an operator sizing a fleet actually wants.
+    """
+
+    shards: tuple[ServiceStats, ...]
+    tenants: int
+    queue_depth: int
+    routed_batches: int
+    routed_events: int
+    backpressure_waits: int
+    wall_seconds: float
+
+    # -- aggregates over shards -----------------------------------------
+    @property
+    def batches(self) -> int:
+        """Tenant-service ingest calls across all shards."""
+        return sum(s.batches for s in self.shards)
+
+    @property
+    def events(self) -> int:
+        """Events accepted into tenant windows across all shards."""
+        return sum(s.events for s in self.shards)
+
+    @property
+    def detections(self) -> int:
+        return sum(s.detections for s in self.shards)
+
+    @property
+    def queries_evaluated(self) -> int:
+        return sum(s.queries_evaluated for s in self.shards)
+
+    @property
+    def queries_prefiltered(self) -> int:
+        return sum(s.queries_prefiltered for s in self.shards)
+
+    @property
+    def matching_seconds(self) -> float:
+        return sum(s.matching_seconds for s in self.shards)
+
+    @property
+    def evicted(self) -> int:
+        return sum(s.evicted for s in self.shards)
+
+    @property
+    def late_dropped(self) -> int:
+        return sum(s.late_dropped for s in self.shards)
+
+    @property
+    def reinserted(self) -> int:
+        return sum(s.reinserted for s in self.shards)
+
+    @property
+    def total_seconds(self) -> float:
+        """Summed in-shard ingest seconds (busy time, not wall time)."""
+        return sum(s.total_seconds for s in self.shards)
+
+    @property
+    def events_per_second(self) -> float:
+        """Aggregate throughput over router wall-clock."""
+        return self.routed_events / self.wall_seconds if self.wall_seconds else 0.0
+
+    def latency_percentile(self, quantile: float) -> float:
+        """Count-weighted nearest-rank percentile across shard reservoirs."""
+        return merged_latency_percentile(
+            (s.latency for s in self.shards), quantile
+        )
+
+    @property
+    def max_batch_seconds(self) -> float:
+        """Slowest single tenant-batch ingest anywhere in the fleet."""
+        return max((s.latency.max for s in self.shards), default=0.0)
+
+    def as_dict(self) -> dict:
+        """JSON-compatible snapshot: the shared
+        :data:`~repro.serving.service.STATS_SCHEMA_KEYS` schema plus
+        fleet-only rollup extras (``per_shard`` nests each shard's own
+        ``as_dict``)."""
+        return {
+            "kind": "fleet",
+            "batches": self.batches,
+            "events": self.events,
+            "detections": self.detections,
+            "queries_evaluated": self.queries_evaluated,
+            "queries_prefiltered": self.queries_prefiltered,
+            "matching_seconds": self.matching_seconds,
+            "total_seconds": self.total_seconds,
+            "events_per_second": self.events_per_second,
+            "evicted": self.evicted,
+            "late_dropped": self.late_dropped,
+            "reinserted": self.reinserted,
+            "latency_ms": {
+                "p50": self.latency_percentile(0.5) * 1000,
+                "p95": self.latency_percentile(0.95) * 1000,
+                "p99": self.latency_percentile(0.99) * 1000,
+                "max": self.max_batch_seconds * 1000,
+            },
+            "latency_samples": {
+                "observed": sum(s.latency.count for s in self.shards),
+                "kept": sum(s.latency.kept for s in self.shards),
+                "capacity": sum(s.latency.capacity for s in self.shards),
+            },
+            # fleet-only rollup
+            "shards": len(self.shards),
+            "tenants": self.tenants,
+            "queue_depth": self.queue_depth,
+            "routed_batches": self.routed_batches,
+            "routed_events": self.routed_events,
+            "backpressure_waits": self.backpressure_waits,
+            "wall_seconds": self.wall_seconds,
+            "per_shard": [s.as_dict() for s in self.shards],
+        }
+
+
+class _ShardState:
+    """One shard's tenant services — the same code inline and in workers.
+
+    Lazily opens a :class:`DetectionService` per first-seen tenant and
+    reports each ingest as ``(detections, counter_delta, seconds)``:
+    the delta is the difference of the service's additive
+    :meth:`~ServiceStats.counters` across the call, the currency the
+    router folds into its parent-side per-shard stats regardless of
+    which process the ingest ran in.
+    """
+
+    def __init__(
+        self,
+        queries: Sequence[BehaviorQuery],
+        window_span: int | None,
+        use_prefilter: bool,
+    ) -> None:
+        self._queries = list(queries)
+        self._window_span = window_span
+        self._use_prefilter = use_prefilter
+        self._services: dict[str, DetectionService] = {}
+        self._previous: dict[str, dict] = {}
+
+    def ingest(
+        self, tenant: str, events: Sequence[SyscallEvent]
+    ) -> tuple[list[Detection], dict, float]:
+        service = self._services.get(tenant)
+        if service is None:
+            service = DetectionService(
+                window_span=self._window_span, use_prefilter=self._use_prefilter
+            )
+            service.register_all(self._queries)
+            self._services[tenant] = service
+            self._previous[tenant] = service.stats.counters()
+        started = _time.perf_counter()
+        detections = service.ingest(events)
+        elapsed = _time.perf_counter() - started
+        current = service.stats.counters()
+        previous = self._previous[tenant]
+        delta = {key: current[key] - previous[key] for key in current}
+        self._previous[tenant] = current
+        return detections, delta, elapsed
+
+
+def _shard_worker(
+    shard_id: int,
+    in_queue,
+    out_queue,
+    blob: BlobDescriptor,
+    window_span: int | None,
+    use_prefilter: bool,
+) -> None:
+    """Process-shard main loop: attach the shared slate, serve batches."""
+    try:
+        attached = attach_blob(blob)
+        payload = json.loads(attached.to_bytes().decode("utf-8"))
+        queries = [query_from_dict(entry) for entry in payload]
+        state = _ShardState(queries, window_span, use_prefilter)
+    except BaseException:
+        out_queue.put(("error", shard_id, None, traceback.format_exc()))
+        return
+    out_queue.put(("ready", shard_id))
+    while True:
+        item = in_queue.get()
+        if item[0] == "stop":
+            return
+        _, seq, tenant, events = item
+        try:
+            detections, delta, elapsed = state.ingest(tenant, events)
+        except Exception:
+            out_queue.put(("error", shard_id, seq, traceback.format_exc()))
+            continue
+        out_queue.put(("ok", shard_id, seq, tenant, detections, delta, elapsed))
+
+
+class DetectionFleet:
+    """Multi-tenant detection behind the single-service ingest surface.
+
+    Parameters
+    ----------
+    shards:
+        Number of independent shards events are partitioned across.
+    tenant_key:
+        ``event -> tenant id`` routing function; defaults to the
+        ``src_key`` prefix before ``"|"`` (untagged events all map to
+        :data:`DEFAULT_TENANT`).
+    window_span / use_prefilter:
+        Forwarded to every per-tenant :class:`DetectionService` — the
+        same values a serial per-tenant deployment would use, keeping
+        the union-identity contract exact.
+    runner:
+        ``"inline"`` (in-process shards) or ``"process"`` (one worker
+        process per shard with bounded queues; see the module doc).
+    queue_depth:
+        Bounded per-shard input queue, in batches (process runner only —
+        inline shards drain synchronously and never backpressure).
+    start_method:
+        Multiprocessing start method override; defaults to the library's
+        platform preference (:func:`repro.core.parallel.resolve_start_method`).
+    assign:
+        ``(tenant, shards) -> shard`` override for tests and rebalancing
+        experiments; defaults to :func:`shard_for_tenant`.  Detections
+        are identical for *any* assignment — only load balance changes.
+
+    Register every query before the first ingest (process workers take
+    the slate snapshot at startup), then ``ingest``/``replay`` freely and
+    ``close()`` when done — or use the fleet as a context manager.
+    """
+
+    def __init__(
+        self,
+        shards: int = 1,
+        *,
+        tenant_key: Callable[[SyscallEvent], str] | None = None,
+        window_span: int | None = None,
+        use_prefilter: bool = True,
+        runner: str = "inline",
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        start_method: str | None = None,
+        assign: Callable[[str, int], int] | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ServingError("a fleet needs at least one shard")
+        if runner not in ("inline", "process"):
+            raise ServingError(f"unknown shard runner {runner!r}")
+        if queue_depth < 1:
+            raise ServingError("queue_depth must be >= 1")
+        if window_span is not None and window_span < 0:
+            raise ServingError("window_span must be non-negative or None")
+        self.num_shards = shards
+        self.window_span = window_span
+        self.use_prefilter = use_prefilter
+        self.runner = runner
+        self._tenant_key = tenant_key or default_tenant_key
+        self._assign = assign or shard_for_tenant
+        self._queue_depth = queue_depth
+        self._start_method = start_method
+        self._queries: list[BehaviorQuery] = []
+        self._shard_stats = [ServiceStats() for _ in range(shards)]
+        self._tenants: set[str] = set()
+        self._routed_batches = 0
+        self._routed_events = 0
+        self._backpressure_waits = 0
+        self._wall_seconds = 0.0
+        self._started = False
+        self._closed = False
+        # inline runner state
+        self._states: list[_ShardState] = []
+        # process runner state
+        self._procs: list = []
+        self._in_queues: list = []
+        self._results = None
+        self._blob_handle = None
+        self._next_seq = 0
+        self._pending: dict[int, int] = {}
+        self._collected: dict[int, list[FleetDetection]] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, query: BehaviorQuery) -> int:
+        """Register one behavior query on every (future) tenant service.
+
+        Returns the query's slate index — equal to the ``query_id`` each
+        per-tenant service assigns, since all services register the same
+        slate in the same order.
+        """
+        if self._started:
+            raise ServingError(
+                "register queries before the first ingest: process shards "
+                "snapshot the slate at startup, and a late-registered wide "
+                "query could not see already-evicted edges anyway"
+            )
+        if (
+            self.window_span is not None
+            and query.max_span > self.window_span
+        ):
+            raise ServingError(
+                f"query {query.name!r} has max_span {query.max_span} wider than "
+                f"the fleet window {self.window_span}; widen the window or "
+                "shorten the query cap"
+            )
+        self._queries.append(query)
+        return len(self._queries) - 1
+
+    def register_all(self, queries: Sequence[BehaviorQuery]) -> list[int]:
+        """Register a query batch (the model-bundle serving path)."""
+        return [self.register(query) for query in queries]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Bring shards up eagerly (idempotent).
+
+        ``ingest`` starts the fleet lazily; calling this first lets
+        benchmarks exclude process-spawn cost from timed sections and
+        surfaces worker startup failures early.
+        """
+        if self._closed:
+            raise ServingError("fleet is closed")
+        if self._started:
+            return
+        self._started = True
+        if self.runner == "inline":
+            self._states = [
+                _ShardState(self._queries, self.window_span, self.use_prefilter)
+                for _ in range(self.num_shards)
+            ]
+            return
+        ctx = multiprocessing.get_context(
+            resolve_start_method(self._start_method)
+        )
+        payload = json.dumps(
+            [query_to_dict(query) for query in self._queries]
+        ).encode("utf-8")
+        blob, self._blob_handle = publish_blob(payload)
+        try:
+            self._results = ctx.Queue()
+            for shard_id in range(self.num_shards):
+                in_queue = ctx.Queue(maxsize=self._queue_depth)
+                proc = ctx.Process(
+                    target=_shard_worker,
+                    args=(
+                        shard_id,
+                        in_queue,
+                        self._results,
+                        blob,
+                        self.window_span,
+                        self.use_prefilter,
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                self._in_queues.append(in_queue)
+                self._procs.append(proc)
+            ready: set[int] = set()
+            while len(ready) < self.num_shards:
+                message = self._next_message(timeout=60.0)
+                if message[0] == "ready":
+                    ready.add(message[1])
+                else:
+                    self._handle(message)
+        except BaseException:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Shut shard workers down and release the shared slate; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.runner == "process" and self._started:
+            for in_queue in self._in_queues:
+                try:
+                    in_queue.put(("stop",), timeout=5)
+                except (_queue.Full, ValueError, OSError):
+                    pass
+            for proc in self._procs:
+                proc.join(timeout=10)
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.terminate()
+                    proc.join(timeout=5)
+            if self._results is not None:
+                try:
+                    while True:
+                        self._results.get_nowait()
+                except (_queue.Empty, OSError, ValueError):
+                    pass
+            for mpq in [*self._in_queues, *( [self._results] if self._results else [] )]:
+                mpq.close()
+                mpq.cancel_join_thread()
+        if self._blob_handle is not None:
+            self._blob_handle.unlink()
+            self._blob_handle = None
+
+    def __enter__(self) -> "DetectionFleet":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, events: Sequence[SyscallEvent]) -> list[FleetDetection]:
+        """Route one mixed batch to its tenants' shards; report detections.
+
+        Synchronous: returns every detection this batch produced, sorted
+        by ``(tenant, query_id, span)`` so inline and process runners
+        emit identical lists.  Under the process runner the shards
+        touched by the batch work concurrently.
+        """
+        if self._closed:
+            raise ServingError("fleet is closed")
+        self.start()
+        started = _time.perf_counter()
+        groups = self._group(events)
+        seq = self._new_batch(groups)
+        detections = self._await_batch(seq)
+        self._routed_batches += 1
+        self._routed_events += len(events)
+        self._wall_seconds += _time.perf_counter() - started
+        return detections
+
+    def replay(
+        self, events: Sequence[SyscallEvent], batch_size: int
+    ) -> Iterator[tuple[int, list[FleetDetection]]]:
+        """Feed a recorded mixed log through the fleet batch by batch.
+
+        Under the process runner the replay is **pipelined**: up to
+        ``queue_depth`` batches per shard are in flight at once, and each
+        batch's detections are yielded — in batch order — as soon as all
+        of its tenant groups complete.  The accumulated detections are
+        identical to calling :meth:`ingest` per batch.
+        """
+        from repro.syscall.collector import iter_event_batches
+
+        if self._closed:
+            raise ServingError("fleet is closed")
+        self.start()
+        events = list(events)
+        if self.runner == "inline":
+            for index, batch in enumerate(iter_event_batches(events, batch_size)):
+                yield index, self.ingest(batch)
+            return
+        seqs: list[int] = []
+        emitted = 0
+        for batch in iter_event_batches(events, batch_size):
+            started = _time.perf_counter()
+            seqs.append(self._new_batch(self._group(batch)))
+            self._routed_batches += 1
+            self._routed_events += len(batch)
+            self._drain()
+            self._wall_seconds += _time.perf_counter() - started
+            while emitted < len(seqs) and not self._pending[seqs[emitted]]:
+                yield emitted, self._finish_batch(seqs[emitted])
+                emitted += 1
+        while emitted < len(seqs):
+            started = _time.perf_counter()
+            while self._pending[seqs[emitted]]:
+                self._handle(self._next_message(timeout=60.0))
+            self._wall_seconds += _time.perf_counter() - started
+            yield emitted, self._finish_batch(seqs[emitted])
+            emitted += 1
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> FleetStats:
+        """Live fleet rollup (complete whenever no replay is mid-flight)."""
+        return FleetStats(
+            shards=tuple(self._shard_stats),
+            tenants=len(self._tenants),
+            queue_depth=self._queue_depth,
+            routed_batches=self._routed_batches,
+            routed_events=self._routed_events,
+            backpressure_waits=self._backpressure_waits,
+            wall_seconds=self._wall_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _group(self, events: Sequence[SyscallEvent]) -> dict[str, list[SyscallEvent]]:
+        """Split a mixed batch into per-tenant groups, arrival order kept."""
+        groups: dict[str, list[SyscallEvent]] = {}
+        for event in events:
+            groups.setdefault(str(self._tenant_key(event)), []).append(event)
+        return groups
+
+    def _new_batch(self, groups: dict[str, list[SyscallEvent]]) -> int:
+        """Dispatch one batch's tenant groups; returns its sequence id."""
+        seq = self._next_seq
+        self._next_seq += 1
+        self._pending[seq] = 0
+        self._collected[seq] = []
+        for tenant, tenant_events in groups.items():
+            shard = self._assign(tenant, self.num_shards)
+            if not 0 <= shard < self.num_shards:
+                raise ServingError(
+                    f"shard assignment for tenant {tenant!r} out of range: "
+                    f"{shard} (fleet has {self.num_shards})"
+                )
+            self._tenants.add(tenant)
+            self._pending[seq] += 1
+            if self.runner == "inline":
+                detections, delta, elapsed = self._states[shard].ingest(
+                    tenant, tenant_events
+                )
+                self._apply(shard, seq, tenant, detections, delta, elapsed)
+            else:
+                self._put(shard, ("batch", seq, tenant, tenant_events))
+        return seq
+
+    def _await_batch(self, seq: int) -> list[FleetDetection]:
+        """Block until one batch's groups all completed; return detections."""
+        while self._pending[seq]:
+            self._handle(self._next_message(timeout=60.0))
+        return self._finish_batch(seq)
+
+    def _finish_batch(self, seq: int) -> list[FleetDetection]:
+        del self._pending[seq]
+        detections = self._collected.pop(seq)
+        detections.sort(key=lambda d: (d.tenant, d.query_id, d.start, d.end))
+        return detections
+
+    def _apply(
+        self,
+        shard: int,
+        seq: int,
+        tenant: str,
+        detections: Sequence[Detection],
+        delta: dict,
+        elapsed: float,
+    ) -> None:
+        """Fold one completed tenant-group ingest into router state."""
+        self._shard_stats[shard].add_delta(delta, batch_seconds=elapsed)
+        self._collected[seq].extend(
+            FleetDetection(
+                tenant=tenant,
+                shard=shard,
+                query_id=d.query_id,
+                query=d.query,
+                start=d.start,
+                end=d.end,
+                batch=d.batch,
+            )
+            for d in detections
+        )
+        self._pending[seq] -= 1
+
+    def _put(self, shard: int, item: tuple) -> None:
+        """Bounded-queue submit: count the stall, then block politely.
+
+        While blocked the router keeps draining finished results, so a
+        full input queue can never deadlock against a full fleet.
+        """
+        in_queue = self._in_queues[shard]
+        try:
+            in_queue.put_nowait(item)
+            return
+        except _queue.Full:
+            self._backpressure_waits += 1
+        while True:
+            self._drain()
+            try:
+                in_queue.put(item, timeout=0.05)
+                return
+            except _queue.Full:
+                self._check_workers()
+
+    def _drain(self) -> None:
+        """Absorb every already-available worker message (non-blocking)."""
+        while True:
+            try:
+                message = self._results.get_nowait()
+            except _queue.Empty:
+                return
+            self._handle(message)
+
+    def _next_message(self, timeout: float) -> tuple:
+        """Blocking receive with worker-liveness checks (no silent hangs)."""
+        deadline = _time.perf_counter() + timeout
+        while True:
+            try:
+                return self._results.get(timeout=0.25)
+            except _queue.Empty:
+                self._check_workers()
+                if _time.perf_counter() > deadline:
+                    raise ServingError(
+                        f"fleet timed out after {timeout:.0f}s waiting for "
+                        "shard results"
+                    ) from None
+
+    def _check_workers(self) -> None:
+        for shard_id, proc in enumerate(self._procs):
+            if not proc.is_alive() and proc.exitcode not in (0, None):
+                raise ServingError(
+                    f"shard {shard_id} worker died with exit code "
+                    f"{proc.exitcode}"
+                )
+
+    def _handle(self, message: tuple) -> None:
+        kind = message[0]
+        if kind == "ok":
+            _, shard, seq, tenant, detections, delta, elapsed = message
+            self._apply(shard, seq, tenant, detections, delta, elapsed)
+        elif kind == "error":
+            _, shard, seq, text = message
+            if seq is not None and seq in self._pending:
+                self._pending[seq] -= 1
+            raise ServingError(f"shard {shard} ingest failed:\n{text}")
+        elif kind == "ready":
+            pass  # late duplicate; startup already consumed the real one
+        else:  # pragma: no cover - protocol bug guard
+            raise ServingError(f"unknown shard message {kind!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DetectionFleet(shards={self.num_shards}, runner={self.runner!r}, "
+            f"tenants={len(self._tenants)}, queries={len(self._queries)})"
+        )

@@ -213,9 +213,11 @@ class TestDetect:
         import json
 
         payload = json.loads(out_json.read_text())
+        assert payload["kind"] == "service"
         assert payload["queries"] >= 1
-        assert payload["batches"] >= 1
-        assert payload["events_per_second"] > 0
+        assert payload["stats"]["kind"] == "service"
+        assert payload["stats"]["batches"] >= 1
+        assert payload["stats"]["events_per_second"] > 0
         assert "gzip-decompress#1" in payload["per_query"]
         # the saved log replays identically through --log
         assert (
@@ -235,6 +237,58 @@ class TestDetect:
         replay_out = capsys.readouterr().out
         first_detections = out.split("detections:")[1].split("wrote")[0]
         assert replay_out.split("detections:")[1] == first_detections
+
+    def test_detect_fleet_json_roundtrip(self, tmp_path, capsys):
+        import json
+
+        queries = tmp_path / "q.jsonl"
+        queries.write_text(
+            '{"name": "q", "labels": ["A", "B"], "edges": [[0, 1]], "max_span": 5}\n'
+        )
+        out_json = tmp_path / "fleet.json"
+        assert (
+            main(
+                [
+                    "detect",
+                    "--queries",
+                    str(queries),
+                    "--instances",
+                    "1",
+                    "--tenants",
+                    "3",
+                    "--shards",
+                    "2",
+                    "--batch-size",
+                    "64",
+                    "--json",
+                    str(out_json),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fleet: 2 shard(s) [inline], 3 tenant(s)" in out
+        payload = json.loads(out_json.read_text())
+        assert payload["kind"] == "fleet"
+        from repro.serving.service import STATS_SCHEMA_KEYS
+
+        stats = payload["stats"]
+        assert set(STATS_SCHEMA_KEYS) <= set(stats)
+        assert stats["shards"] == 2
+        assert stats["tenants"] == 3
+        assert len(stats["per_shard"]) == 2
+        assert stats["events"] == sum(s["events"] for s in stats["per_shard"])
+
+    def test_detect_fleet_rejects_zero_shards(self, tmp_path, capsys):
+        queries = tmp_path / "q.jsonl"
+        queries.write_text(
+            '{"name": "q", "labels": ["A", "B"], "edges": [[0, 1]], "max_span": 5}\n'
+        )
+        code = main(
+            ["detect", "--queries", str(queries), "--instances", "1", "--shards", "0"]
+        )
+        assert code == 2
+        assert "--shards" in capsys.readouterr().err
 
     def test_detect_missing_queries_errors(self, tmp_path, capsys):
         code = main(

@@ -1,0 +1,635 @@
+"""Tests for the sharded multi-tenant detection fleet.
+
+The load-bearing suite is the **union-identity class**: fleet detections
+must be exactly the union of per-tenant serial ``DetectionService``
+detections — for any shard count, any routing of tenants to shards, any
+interleaving of the mixed stream, and out-of-order batches.  The rest
+covers the router's accounting (backpressure, late drops), the shared
+``Ingestor`` surface both implementations satisfy, and the bounded
+latency reservoir behind ``latency_percentile``.
+"""
+
+import math
+import queue as _queue
+import random
+
+import pytest
+
+from repro.core.errors import ServingError
+from repro.core.pattern import TemporalPattern
+from repro.serving import Ingestor
+from repro.serving.fleet import (
+    DEFAULT_TENANT,
+    DetectionFleet,
+    FleetDetection,
+    default_tenant_key,
+    interleave_streams,
+    shard_for_tenant,
+    simulate_tenant_streams,
+    tag_tenant_events,
+    tenant_key_for_separator,
+)
+from repro.serving.registry import BehaviorQuery
+from repro.serving.service import (
+    STATS_SCHEMA_KEYS,
+    DetectionService,
+    LatencyReservoir,
+    merged_latency_percentile,
+)
+from repro.syscall.events import SyscallEvent
+
+PATTERN_PF = TemporalPattern(("proc", "file"), ((0, 1),))
+PATTERN_PFS = TemporalPattern(("proc", "file", "sock"), ((0, 1), (1, 2)))
+
+QUERIES = [
+    BehaviorQuery("pf", PATTERN_PF, 6),
+    BehaviorQuery("pfs", PATTERN_PFS, 12),
+]
+
+
+def event(time, src_key, src_label, dst_key, dst_label, tenant=None):
+    if tenant is not None:
+        src_key = f"{tenant}|{src_key}"
+        dst_key = f"{tenant}|{dst_key}"
+    return SyscallEvent(
+        time=time,
+        syscall="op",
+        src_key=src_key,
+        src_label=src_label,
+        dst_key=dst_key,
+        dst_label=dst_label,
+    )
+
+
+def random_tenant_log(rng, tenant, n_events, out_of_order=False):
+    """A tenant's event stream over a small shared entity vocabulary.
+
+    Every tenant uses the *same* entity keys (``p0..``, ``f0..``) on its
+    own clock — if the fleet ever mixed two tenants into one window, the
+    shared keys would fuse their graphs and the union identity would
+    break loudly.  Timestamps are distinct within a tenant (the window
+    rejects in-batch collisions); ``out_of_order`` shuffles the *stream
+    order* inside small blocks, so times regress across batches while
+    staying collision-free.
+    """
+    times = sorted(rng.sample(range(1, n_events * 5), n_events))
+    if out_of_order:
+        for start in range(0, n_events, 6):
+            block = times[start : start + 6]
+            rng.shuffle(block)
+            times[start : start + 6] = block
+    events = []
+    for time in times:
+        if rng.random() < 0.6:
+            events.append(
+                event(
+                    time,
+                    f"p{rng.randrange(3)}",
+                    "proc",
+                    f"f{rng.randrange(3)}",
+                    "file",
+                    tenant,
+                )
+            )
+        else:
+            events.append(
+                event(time, f"f{rng.randrange(3)}", "file", "s0", "sock", tenant)
+            )
+    return events
+
+
+def random_merge(rng, streams):
+    """Random interleave preserving each stream's internal order."""
+    cursors = [0] * len(streams)
+    merged = []
+    live = [i for i, s in enumerate(streams) if s]
+    while live:
+        i = rng.choice(live)
+        take = rng.randrange(1, 8)
+        merged.extend(streams[i][cursors[i] : cursors[i] + take])
+        cursors[i] += take
+        live = [i for i, s in enumerate(streams) if cursors[i] < len(s)]
+    return merged
+
+
+def serial_union(per_tenant, batch_size, window_span=None):
+    """The reference answer: one serial service per tenant, keys unioned.
+
+    Each tenant's substream is replayed with its own fixed ``batch_size``
+    chunking — for in-order logs, detections are batch-split invariant
+    (asserted by ``tests/test_serving.py``), so this matches the fleet
+    regardless of how the interleaving slices tenant groups.
+    """
+    union = set()
+    for tenant, events in per_tenant.items():
+        service = DetectionService(window_span=window_span)
+        service.register_all(QUERIES)
+        for _batch, detections in service.replay(events, batch_size):
+            union.update((tenant, d.query, d.start, d.end) for d in detections)
+    return union
+
+
+def serial_union_same_batches(events, batch_size, window_span=None):
+    """Same-boundary reference for out-of-order streams.
+
+    Late-drop decisions depend on where batch boundaries fall, so for
+    regressing timestamps the honest identity feeds each tenant's serial
+    service exactly the tenant groups the router forms from the mixed
+    stream.
+    """
+    from repro.syscall.collector import iter_event_batches
+
+    services: dict = {}
+    union = set()
+    for batch in iter_event_batches(list(events), batch_size):
+        groups: dict = {}
+        for e in batch:
+            groups.setdefault(default_tenant_key(e), []).append(e)
+        for tenant, tenant_events in groups.items():
+            service = services.get(tenant)
+            if service is None:
+                service = DetectionService(window_span=window_span)
+                service.register_all(QUERIES)
+                services[tenant] = service
+            for d in service.ingest(tenant_events):
+                union.add((tenant, d.query, d.start, d.end))
+    return union
+
+
+def fleet_union(fleet, events, batch_size):
+    got = set()
+    for _batch, detections in fleet.replay(events, batch_size):
+        got.update(d.key for d in detections)
+    return got
+
+
+# ----------------------------------------------------------------------
+# routing helpers
+# ----------------------------------------------------------------------
+class TestRoutingHelpers:
+    def test_default_tenant_key_splits_prefix(self):
+        assert default_tenant_key(event(0, "acme|p1", "proc", "acme|f1", "file"))
+        assert (
+            default_tenant_key(event(0, "acme|p1", "proc", "acme|f1", "file"))
+            == "acme"
+        )
+
+    def test_untagged_events_route_to_default_tenant(self):
+        assert (
+            default_tenant_key(event(0, "p1", "proc", "f1", "file"))
+            == DEFAULT_TENANT
+        )
+
+    def test_custom_separator(self):
+        key = tenant_key_for_separator("/")
+        assert key(event(0, "acme/p1", "proc", "acme/f1", "file")) == "acme"
+
+    def test_empty_separator_rejected(self):
+        with pytest.raises(ServingError):
+            tenant_key_for_separator("")
+
+    def test_shard_assignment_stable_and_in_range(self):
+        for shards in (1, 2, 4, 7):
+            for t in range(50):
+                shard = shard_for_tenant(f"tenant-{t}", shards)
+                assert 0 <= shard < shards
+                assert shard == shard_for_tenant(f"tenant-{t}", shards)
+
+    def test_tag_tenant_events_prefixes_keys_only(self):
+        tagged = tag_tenant_events("acme", [event(3, "p1", "proc", "f1", "file")])
+        assert tagged[0].src_key == "acme|p1"
+        assert tagged[0].dst_key == "acme|f1"
+        assert tagged[0].src_label == "proc"
+        assert tagged[0].time == 3
+
+    def test_tenant_id_must_not_contain_separator(self):
+        with pytest.raises(ServingError):
+            tag_tenant_events("a|b", [])
+
+    def test_interleave_preserves_per_stream_order(self):
+        a = [event(t, "p", "proc", "f", "file", "a") for t in range(10)]
+        b = [event(t, "p", "proc", "f", "file", "b") for t in range(7)]
+        merged = interleave_streams([a, b], chunk=3)
+        assert len(merged) == 17
+        assert [e.time for e in merged if e.src_key.startswith("a|")] == list(
+            range(10)
+        )
+        assert [e.time for e in merged if e.src_key.startswith("b|")] == list(
+            range(7)
+        )
+
+    def test_interleave_rejects_bad_chunk(self):
+        with pytest.raises(ServingError):
+            interleave_streams([], chunk=0)
+
+    def test_simulate_tenant_streams_tags_every_event(self):
+        events = simulate_tenant_streams(tenants=3, instances=1, seed=5)
+        tenants = {default_tenant_key(e) for e in events}
+        assert tenants == {"tenant-000", "tenant-001", "tenant-002"}
+
+    def test_simulate_rejects_zero_tenants(self):
+        with pytest.raises(ServingError):
+            simulate_tenant_streams(tenants=0, instances=1)
+
+
+# ----------------------------------------------------------------------
+# the correctness bar: fleet == union of per-tenant serial services
+# ----------------------------------------------------------------------
+class TestFleetEqualsSerialUnion:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_random_interleavings(self, shards):
+        for seed in range(5):
+            rng = random.Random(100 * shards + seed)
+            tenants = [f"t{i}" for i in range(rng.randrange(2, 6))]
+            per_tenant = {
+                t: random_tenant_log(rng, t, rng.randrange(20, 60))
+                for t in tenants
+            }
+            events = random_merge(rng, list(per_tenant.values()))
+            batch_size = rng.choice([3, 7, 16, 64])
+            fleet = DetectionFleet(shards=shards)
+            fleet.register_all(QUERIES)
+            assert fleet_union(fleet, events, batch_size) == serial_union(
+                per_tenant, batch_size
+            ), f"seed={seed} shards={shards} batch={batch_size}"
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_out_of_order_batches_with_eviction(self, shards):
+        for seed in range(4):
+            rng = random.Random(7_000 + 10 * shards + seed)
+            per_tenant = {
+                t: random_tenant_log(rng, t, 50, out_of_order=True)
+                for t in ("alpha", "beta", "gamma")
+            }
+            events = random_merge(rng, list(per_tenant.values()))
+            # window barely wider than the widest query span: eviction,
+            # reinsertion, and late drops all fire
+            fleet = DetectionFleet(shards=shards, window_span=14)
+            fleet.register_all(QUERIES)
+            got = fleet_union(fleet, events, 8)
+            assert got == serial_union_same_batches(events, 8, window_span=14)
+
+    def test_any_routing_yields_identical_detections(self):
+        rng = random.Random(42)
+        per_tenant = {
+            t: random_tenant_log(rng, t, 40) for t in ("a", "b", "c", "d", "e")
+        }
+        events = random_merge(rng, list(per_tenant.values()))
+        reference = None
+        routings = [
+            None,  # default crc32
+            lambda tenant, n: 0,  # everything on one shard
+            lambda tenant, n: (len(tenant) + ord(tenant[0])) % n,
+        ]
+        for assign in routings:
+            fleet = DetectionFleet(shards=3, assign=assign)
+            fleet.register_all(QUERIES)
+            got = fleet_union(fleet, events, 16)
+            if reference is None:
+                reference = got
+            assert got == reference
+        assert reference == serial_union(per_tenant, 16)
+
+    def test_batch_index_is_tenant_local(self):
+        # one tenant's detections carry its own service's batch counter,
+        # not the fleet's routed-batch sequence
+        a = [event(t, "p0", "proc", "f0", "file", "a") for t in range(4)]
+        b = [event(t, "p0", "proc", "f0", "file", "b") for t in range(2)]
+        fleet = DetectionFleet(shards=2)
+        fleet.register_all(QUERIES)
+        first = fleet.ingest(a[:2])  # a's batch 0
+        second = fleet.ingest(a[2:] + b)  # a's batch 1, b's batch 0
+        assert {(d.tenant, d.batch) for d in first} == {("a", 0)}
+        # b first appears in the fleet's SECOND routed batch, but its own
+        # service counts it as batch 0
+        assert ("b", 0) in {(d.tenant, d.batch) for d in second}
+        assert ("a", 1) in {(d.tenant, d.batch) for d in second}
+        fleet.close()
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_process_runner_identical_to_inline(self, shards):
+        rng = random.Random(900 + shards)
+        per_tenant = {
+            t: random_tenant_log(rng, t, 60, out_of_order=True)
+            for t in ("a", "b", "c", "d", "e", "f")
+        }
+        events = random_merge(rng, list(per_tenant.values()))
+        inline = DetectionFleet(shards=shards, window_span=14)
+        inline.register_all(QUERIES)
+        inline_batches = [dets for _i, dets in inline.replay(events, 16)]
+        process_fleet = DetectionFleet(
+            shards=shards, window_span=14, runner="process", queue_depth=2
+        )
+        process_fleet.register_all(QUERIES)
+        with process_fleet as fleet:
+            process_batches = [dets for _i, dets in fleet.replay(events, 16)]
+            stats = fleet.stats
+        # not just the union — batch-by-batch identical detection lists
+        assert process_batches == inline_batches
+        assert stats.late_dropped == inline.stats.late_dropped
+        assert stats.events == inline.stats.events
+        assert stats.detections == inline.stats.detections
+        union = {d.key for dets in process_batches for d in dets}
+        assert union == serial_union_same_batches(events, 16, window_span=14)
+
+    def test_process_ingest_synchronous(self):
+        # ingest() on a process fleet blocks for its own batch's results
+        events = [event(t, "p0", "proc", "f0", "file", "solo") for t in range(6)]
+        fleet = DetectionFleet(shards=2, runner="process")
+        fleet.register_all(QUERIES)
+        service = DetectionService()
+        service.register_all(QUERIES)
+        with fleet:
+            first = fleet.ingest(events[:3])
+            expected_first = service.ingest(events[:3])
+            assert {d.span for d in first} == {d.span for d in expected_first}
+            second = fleet.ingest(events[3:])
+            expected_second = service.ingest(events[3:])
+            assert {d.span for d in second} == {d.span for d in expected_second}
+
+
+# ----------------------------------------------------------------------
+# accounting: late drops per tenant, backpressure at the router
+# ----------------------------------------------------------------------
+class TestAccounting:
+    def test_late_drops_are_per_tenant(self):
+        # tenant "ahead" runs its clock far past tenant "behind"; with a
+        # shared window behind's events would all be late — per-tenant
+        # windows must keep them alive
+        fleet = DetectionFleet(shards=1, window_span=10)
+        fleet.register(QUERIES[0])  # pf, span 6 — fits the narrow window
+        fleet.ingest(
+            [event(1000 + t, "p0", "proc", "f0", "file", "ahead") for t in range(3)]
+        )
+        detections = fleet.ingest(
+            [event(t, "p0", "proc", "f0", "file", "behind") for t in range(3)]
+        )
+        assert {d.tenant for d in detections} == {"behind"}
+        assert fleet.stats.late_dropped == 0
+
+    def test_late_drop_rollup_matches_serial(self):
+        fleet = DetectionFleet(shards=2, window_span=6)
+        fleet.register(QUERIES[0])  # pf, span 6
+        stream = [
+            event(0, "p0", "proc", "f0", "file", "a"),
+            event(50, "p0", "proc", "f0", "file", "a"),
+            # 40 is > window behind a's sealed frontier (50): dropped
+            event(40, "p1", "proc", "f1", "file", "a"),
+            # but 40 is b's frontier: alive
+            event(40, "p1", "proc", "f1", "file", "b"),
+        ]
+        for e in stream:
+            fleet.ingest([e])
+        assert fleet.stats.late_dropped == 1
+        info = fleet.stats.as_dict()
+        assert info["late_dropped"] == 1
+        assert info["tenants"] == 2
+
+    def test_backpressure_counted_once_per_stalled_submit(self):
+        class RejectingQueue:
+            def __init__(self, rejects):
+                self.rejects = rejects
+                self.items = []
+
+            def put_nowait(self, item):
+                self.put(item)
+
+            def put(self, item, timeout=None):
+                if self.rejects:
+                    self.rejects -= 1
+                    raise _queue.Full
+                self.items.append(item)
+
+        class EmptyResults:
+            def get_nowait(self):
+                raise _queue.Empty
+
+        fleet = DetectionFleet(shards=1, runner="process", queue_depth=1)
+        fleet.register_all(QUERIES)
+        fake = RejectingQueue(rejects=3)
+        fleet._in_queues = [fake]
+        fleet._results = EmptyResults()
+        fleet._put(0, ("batch", 0, "t", []))
+        assert fleet.stats.backpressure_waits == 1
+        assert len(fake.items) == 1
+        # a submit that goes straight in does not count
+        fleet._put(0, ("batch", 1, "t", []))
+        assert fleet.stats.backpressure_waits == 1
+
+    def test_real_process_backpressure_completes(self):
+        rng = random.Random(3)
+        per_tenant = {
+            t: random_tenant_log(rng, t, 40) for t in ("a", "b", "c", "d")
+        }
+        events = random_merge(rng, list(per_tenant.values()))
+        fleet = DetectionFleet(shards=1, runner="process", queue_depth=1)
+        fleet.register_all(QUERIES)
+        with fleet:
+            got = fleet_union(fleet, events, 4)
+            stats = fleet.stats
+        assert got == serial_union(per_tenant, 4)
+        assert stats.backpressure_waits >= 0
+        assert stats.routed_batches == math.ceil(len(events) / 4)
+        assert stats.routed_events == len(events)
+
+    def test_fleet_stats_schema_and_rollup(self):
+        fleet = DetectionFleet(shards=2)
+        fleet.register_all(QUERIES)
+        fleet.ingest(
+            [event(t, "p0", "proc", "f0", "file", f"t{t % 3}") for t in range(9)]
+        )
+        stats = fleet.stats
+        info = stats.as_dict()
+        assert set(STATS_SCHEMA_KEYS) <= set(info)
+        assert info["kind"] == "fleet"
+        assert info["shards"] == 2
+        assert info["tenants"] == 3
+        assert len(info["per_shard"]) == 2
+        assert all(s["kind"] == "service" for s in info["per_shard"])
+        assert info["events"] == sum(s["events"] for s in info["per_shard"]) == 9
+        assert stats.events_per_second > 0
+        assert stats.latency_percentile(0.95) >= 0.0
+
+
+# ----------------------------------------------------------------------
+# one shared surface: Ingestor conformance for both implementations
+# ----------------------------------------------------------------------
+def _make_service():
+    service = DetectionService()
+    return service
+
+
+def _make_fleet():
+    return DetectionFleet(shards=2)
+
+
+def _make_process_fleet():
+    return DetectionFleet(shards=2, runner="process")
+
+
+class TestIngestorConformance:
+    @pytest.mark.parametrize(
+        "factory", [_make_service, _make_fleet, _make_process_fleet]
+    )
+    def test_conformance(self, factory):
+        impl = factory()
+        assert isinstance(impl, Ingestor)
+        assert impl.register_all(QUERIES) == [0, 1]
+        events = [event(t, "p0", "proc", "f0", "file") for t in range(8)]
+        detections = impl.ingest(events[:4])
+        assert isinstance(detections, list)
+        for d in detections:
+            assert d.query in ("pf", "pfs")
+            assert isinstance(d.span, tuple)
+        replayed = list(impl.replay(events[4:], 2))
+        assert [index for index, _d in replayed] == [0, 1]
+        info = impl.stats.as_dict()
+        assert set(STATS_SCHEMA_KEYS) <= set(info)
+        assert info["events"] == 8
+        assert info["kind"] in ("service", "fleet")
+        impl.close()
+        impl.close()  # idempotent
+
+    def test_both_report_identical_spans(self):
+        events = [event(t, "p0", "proc", "f0", "file") for t in range(12)]
+        results = {}
+        for name, factory in [("service", _make_service), ("fleet", _make_fleet)]:
+            impl = factory()
+            impl.register_all(QUERIES)
+            spans = set()
+            for _i, detections in impl.replay(events, 5):
+                spans.update((d.query, d.span) for d in detections)
+            impl.close()
+            results[name] = spans
+        assert results["service"] == results["fleet"] != set()
+
+    def test_fleet_rejects_use_after_close(self):
+        fleet = DetectionFleet(shards=1)
+        fleet.register_all(QUERIES)
+        fleet.close()
+        with pytest.raises(ServingError):
+            fleet.ingest([event(0, "p", "proc", "f", "file")])
+        with pytest.raises(ServingError):
+            list(fleet.replay([], 4))
+
+
+# ----------------------------------------------------------------------
+# construction / validation
+# ----------------------------------------------------------------------
+class TestFleetConstruction:
+    def test_needs_a_shard(self):
+        with pytest.raises(ServingError):
+            DetectionFleet(shards=0)
+
+    def test_rejects_unknown_runner(self):
+        with pytest.raises(ServingError):
+            DetectionFleet(runner="thread")
+
+    def test_rejects_bad_queue_depth(self):
+        with pytest.raises(ServingError):
+            DetectionFleet(queue_depth=0)
+
+    def test_register_after_start_rejected(self):
+        fleet = DetectionFleet(shards=1)
+        fleet.register_all(QUERIES)
+        fleet.ingest([event(0, "p", "proc", "f", "file")])
+        with pytest.raises(ServingError, match="before the first ingest"):
+            fleet.register(QUERIES[0])
+        fleet.close()
+
+    def test_query_wider_than_window_rejected(self):
+        fleet = DetectionFleet(shards=1, window_span=5)
+        with pytest.raises(ServingError, match="wider than"):
+            fleet.register(BehaviorQuery("wide", PATTERN_PF, 50))
+
+    def test_out_of_range_assignment_rejected(self):
+        fleet = DetectionFleet(shards=2, assign=lambda tenant, n: n)
+        fleet.register_all(QUERIES)
+        with pytest.raises(ServingError, match="out of range"):
+            fleet.ingest([event(0, "p", "proc", "f", "file")])
+        fleet.close()
+
+    def test_fleet_detection_key_and_span(self):
+        d = FleetDetection(
+            tenant="acme", shard=1, query_id=0, query="pf", start=3, end=7, batch=2
+        )
+        assert d.span == (3, 7)
+        assert d.key == ("acme", "pf", 3, 7)
+
+
+# ----------------------------------------------------------------------
+# the bounded latency reservoir
+# ----------------------------------------------------------------------
+class TestLatencyReservoir:
+    def test_exact_below_capacity(self):
+        rng = random.Random(1)
+        values = [rng.random() for _ in range(100)]
+        reservoir = LatencyReservoir(capacity=256)
+        for v in values:
+            reservoir.add(v)
+        ordered = sorted(values)
+        for q in (0.5, 0.95, 0.99):
+            rank = min(len(ordered) - 1, max(0, math.ceil(len(ordered) * q) - 1))
+            assert reservoir.percentile(q) == ordered[rank]
+        assert reservoir.count == 100
+        assert reservoir.kept == 100
+        assert reservoir.max == max(values)
+        assert reservoir.total == pytest.approx(sum(values))
+
+    def test_memory_bounded_but_counters_exact(self):
+        reservoir = LatencyReservoir(capacity=64)
+        for i in range(10_000):
+            reservoir.add(i * 1e-6)
+        assert reservoir.kept == 64
+        assert len(reservoir.samples) == 64
+        assert reservoir.count == 10_000
+        assert reservoir.max == pytest.approx(9_999e-6)
+        assert reservoir.total == pytest.approx(sum(i * 1e-6 for i in range(10_000)))
+
+    def test_percentile_within_documented_error(self):
+        # documented rank error ~ sqrt(q(1-q)/k); at k=256, q=0.95 that's
+        # ~1.4 rank points — give 4 sigma of slack on a uniform stream
+        reservoir = LatencyReservoir(capacity=256)
+        rng = random.Random(99)
+        for _ in range(50_000):
+            reservoir.add(rng.random())
+        for q in (0.5, 0.95):
+            sigma = math.sqrt(q * (1 - q) / 256)
+            assert abs(reservoir.percentile(q) - q) < 4 * sigma
+
+    def test_empty_percentile_is_zero(self):
+        assert LatencyReservoir().percentile(0.95) == 0.0
+
+    def test_merged_exact_when_under_capacity(self):
+        rng = random.Random(2)
+        groups = [[rng.random() for _ in range(30)] for _ in range(3)]
+        reservoirs = []
+        for values in groups:
+            r = LatencyReservoir(capacity=128)
+            for v in values:
+                r.add(v)
+            reservoirs.append(r)
+        merged_values = sorted(v for values in groups for v in values)
+        for q in (0.5, 0.95, 0.99):
+            rank = min(
+                len(merged_values) - 1,
+                max(0, math.ceil(len(merged_values) * q) - 1),
+            )
+            assert merged_latency_percentile(reservoirs, q) == pytest.approx(
+                merged_values[rank]
+            )
+
+    def test_merged_weights_downsampled_reservoirs(self):
+        # a reservoir that observed 10x more batches must dominate the
+        # merged percentile even though it kept the same sample count
+        slow = LatencyReservoir(capacity=32)
+        for _ in range(320):
+            slow.add(1.0)
+        fast = LatencyReservoir(capacity=32)
+        for _ in range(32):
+            fast.add(0.001)
+        assert merged_latency_percentile([slow, fast], 0.5) == 1.0
+
+    def test_merged_empty_is_zero(self):
+        assert merged_latency_percentile([], 0.95) == 0.0
+        assert merged_latency_percentile([LatencyReservoir()], 0.5) == 0.0

@@ -415,7 +415,8 @@ class TestDetectionService:
         assert service.stats.events == 10
         assert service.stats.detections == 10
         assert service.stats.events_per_second > 0
-        assert len(service.stats.batch_seconds) == 3
+        assert service.stats.latency.count == 3
+        assert len(service.stats.latency.samples) == 3
 
     def test_batch_size_must_be_positive(self):
         with pytest.raises(DatasetError):
