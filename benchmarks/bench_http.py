@@ -1,0 +1,136 @@
+"""HTTP serving-tier overhead: ``POST /v1/ingest`` vs direct ingest.
+
+The HTTP tier wraps the same :class:`DetectionService` the in-process
+path uses, so the delta between the two runs is pure transport cost:
+JSON encode/decode of every event batch, one request/response round
+trip per batch over a persistent loopback connection, and the server's
+dispatch + ring-buffer bookkeeping.  The tier makes no detection
+decisions of its own, so both paths must report the **identical**
+detection set — that soundness boolean is the gated metric; the
+overhead ratio and throughput are informational trend lines
+(``benchmarks/check_regression.py``).
+"""
+
+import http.client
+import json
+import time
+
+from repro.datasets.io import event_to_dict
+from repro.serving.http import serve_http
+from repro.serving.service import DetectionService
+from repro.syscall.collector import iter_event_batches
+
+from benchmarks.bench_common import (
+    SERVING_BATCH,
+    SERVING_REPEATS,
+    emit,
+    once,
+    write_json,
+)
+from benchmarks.bench_serving import _formulate_slate
+
+
+def _fresh_service(queries):
+    service = DetectionService()
+    service.register_all(queries)
+    return service
+
+
+def _direct_run(queries, batches):
+    service = _fresh_service(queries)
+    spans = set()
+    started = time.perf_counter()
+    for batch in batches:
+        for detection in service.ingest(batch):
+            spans.add((detection.query, detection.span[0], detection.span[1]))
+    return spans, time.perf_counter() - started
+
+
+def _http_run(queries, batches):
+    server = serve_http(_fresh_service(queries)).start_background()
+    host, port = server.address
+    spans = set()
+    try:
+        connection = http.client.HTTPConnection(host, port)
+        started = time.perf_counter()
+        for batch in batches:
+            body = json.dumps({"events": [event_to_dict(e) for e in batch]})
+            connection.request(
+                "POST",
+                "/v1/ingest",
+                body,
+                {"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 200, payload
+            for detection in payload["detections"]:
+                spans.add((detection["query"], detection["start"], detection["end"]))
+        seconds = time.perf_counter() - started
+        connection.close()
+    finally:
+        server.close()
+    return spans, seconds
+
+
+def test_http_ingest_overhead(benchmark, train, test_data, model):
+    queries = _formulate_slate(train, model)
+    assert queries, "query formulation mined nothing; raise BENCH knobs"
+    events = test_data.events
+    batches = list(iter_event_batches(events, SERVING_BATCH))
+
+    def run():
+        # best-of-N per mode (same denoiser as the serving ablation);
+        # span sets must agree on every repeat, not just the fastest
+        direct_spans, direct_seconds = _direct_run(queries, batches)
+        for _repeat in range(SERVING_REPEATS - 1):
+            spans, seconds = _direct_run(queries, batches)
+            assert spans == direct_spans, "direct run is nondeterministic"
+            direct_seconds = min(direct_seconds, seconds)
+        http_spans, http_seconds = _http_run(queries, batches)
+        for _repeat in range(SERVING_REPEATS - 1):
+            spans, seconds = _http_run(queries, batches)
+            assert spans == http_spans, "HTTP run is nondeterministic"
+            http_seconds = min(http_seconds, seconds)
+        return direct_spans, direct_seconds, http_spans, http_seconds
+
+    direct_spans, direct_seconds, http_spans, http_seconds = once(benchmark, run)
+
+    identical = http_spans == direct_spans
+    overhead = http_seconds / max(direct_seconds, 1e-9)
+    direct_rate = len(events) / max(direct_seconds, 1e-9)
+    http_rate = len(events) / max(http_seconds, 1e-9)
+    per_batch_ms = (http_seconds - direct_seconds) / max(len(batches), 1) * 1000
+
+    emit("\n=== HTTP tier: POST /v1/ingest vs direct in-process ingest ===")
+    emit(
+        f"{len(queries)} queries over {len(events)} events in "
+        f"{len(batches)} batches of {SERVING_BATCH}"
+    )
+    emit(f"{'mode':24s} {'seconds':>9s} {'events/s':>10s}")
+    emit(f"{'direct ingest':24s} {direct_seconds:9.3f} {direct_rate:10,.0f}")
+    emit(f"{'HTTP /v1/ingest':24s} {http_seconds:9.3f} {http_rate:10,.0f}")
+    emit(
+        f"overhead {overhead:.2f}x (~{per_batch_ms:.2f}ms per batch); "
+        f"detections identical: {identical}"
+    )
+
+    write_json(
+        "BENCH_http.json",
+        {
+            "events": len(events),
+            "batches": len(batches),
+            "batch_size": SERVING_BATCH,
+            "queries": len(queries),
+            "detections": len(direct_spans),
+            "direct_seconds": direct_seconds,
+            "http_seconds": http_seconds,
+            "overhead_ratio": overhead,
+            "overhead_ms_per_batch": per_batch_ms,
+            "direct_events_per_second": direct_rate,
+            "http_events_per_second": http_rate,
+            "identical": identical,
+        },
+    )
+    # soundness: the transport must not change what gets detected
+    assert identical, "HTTP detections diverge from direct ingest"

@@ -85,6 +85,11 @@ METRICS = [
     Metric("BENCH_fleet.json", "events_per_second", "absolute"),
     Metric("BENCH_fleet.json", "latency_p95_ms", "absolute"),
     Metric("BENCH_fleet.json", "latency_p99_ms", "absolute"),
+    # the HTTP tier must be a pure transport: detection sets identical
+    # to direct ingest; its overhead is an informational trend line
+    Metric("BENCH_http.json", "identical", "bool_true"),
+    Metric("BENCH_http.json", "overhead_ratio", "absolute"),
+    Metric("BENCH_http.json", "http_events_per_second", "absolute"),
     Metric("BENCH_parallel.json", "identical", "bool_true"),
     Metric(
         "BENCH_parallel.json", "seed_speedup", "higher_better", guard="speedup_enforced"

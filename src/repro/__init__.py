@@ -12,9 +12,12 @@ The package ships five layers:
 * :mod:`repro.serving` — the streaming half: a sliding-window
   :class:`~repro.serving.streaming.StreamingGraph`, the multi-query
   :class:`~repro.serving.registry.QueryRegistry`, the
-  :class:`~repro.serving.service.DetectionService` facade, and the
-  sharded multi-tenant :class:`~repro.serving.fleet.DetectionFleet` —
-  both behind one :class:`~repro.serving.Ingestor` protocol;
+  :class:`~repro.serving.service.DetectionService` facade, the sharded
+  multi-tenant :class:`~repro.serving.fleet.DetectionFleet` — all
+  behind one :class:`~repro.serving.Ingestor` protocol — plus the
+  versioned :class:`~repro.serving.model_registry.ModelRegistry` and
+  the HTTP tier (:func:`~repro.serving.http.serve_http`) with hot
+  reload and canary promotion;
 * :mod:`repro.api` — the stable SDK tying them together:
   :class:`~repro.api.workspace.Workspace` (generate → mine → query →
   serve) and :class:`~repro.api.model.BehaviorModel`, the versioned
@@ -46,7 +49,15 @@ from repro.api import (
     BehaviorModel,
     BehaviorRecord,
     EvaluationReport,
+    HttpError,
+    ModelRegistry,
+    RegistryEntry,
+    RegistryError,
+    ServingHandle,
+    StatsView,
     Workspace,
+    serve_http,
+    stats_from_dict,
 )
 from repro.core import (
     GTest,
@@ -105,7 +116,14 @@ __all__ = [
     "Ingestor",
     "QueryRegistry",
     "ServiceStats",
+    "ServingHandle",
+    "StatsView",
     "StreamingGraph",
+    "stats_from_dict",
+    # model registry + HTTP tier
+    "ModelRegistry",
+    "RegistryEntry",
+    "serve_http",
     # SDK (repro.api)
     "Workspace",
     "BehaviorModel",
@@ -115,5 +133,7 @@ __all__ = [
     # errors + metadata
     "ReproError",
     "ArtifactError",
+    "RegistryError",
+    "HttpError",
     "__version__",
 ]

@@ -1,17 +1,28 @@
 """``repro.api`` — the stable SDK surface of the reproduction.
 
-Two names carry the whole train-offline/serve-online story:
+A handful of names carry the whole train-offline/serve-online story:
 
 * :class:`Workspace` — the pipeline facade: ``generate`` training/test
   data, ``mine`` behaviors into a model, ``query`` a monitoring graph in
-  batch, ``serve`` an event stream;
+  batch, ``serve`` an event stream (optionally sharded, optionally over
+  HTTP via :meth:`Workspace.serve_http`);
 * :class:`BehaviorModel` — the versioned, self-describing artifact
   bundle (directory or ``.tgm`` zip) a mining process saves and a
   serving process loads, with byte-identical round-trips and a schema
-  version gate (:class:`ArtifactError` on incompatible bundles).
+  version gate (:class:`ArtifactError` on incompatible bundles);
+* :class:`ModelRegistry` — the versioned on-disk store of published
+  bundles behind hot reload and canary promotion
+  (:class:`RegistryError` on invalid registry state);
+* the serving contract — the :class:`Ingestor` protocol every
+  deployment satisfies, the :class:`ServingHandle` ``serve()`` returns,
+  and the versioned stats schema (:data:`STATS_SCHEMA_KEYS` /
+  :data:`STATS_SCHEMA_VERSION`, decoded by :func:`stats_from_dict`).
 
-The CLI, the examples, and the docs all build on this module; anything
-not importable from here (or the documented subpackages) is an internal.
+This module is the canonical import path for the serving contract; the
+definitions physically live in :mod:`repro.serving.contracts` only to
+keep the package import graph acyclic.  The CLI, the examples, and the
+docs all build on this module; anything not importable from here (or
+the documented subpackages) is an internal.
 """
 
 from repro.api.model import (
@@ -21,7 +32,17 @@ from repro.api.model import (
     BehaviorRecord,
 )
 from repro.api.workspace import BehaviorEvaluation, EvaluationReport, Workspace
-from repro.core.errors import ArtifactError
+from repro.core.errors import ArtifactError, HttpError, RegistryError
+from repro.serving.contracts import (
+    STATS_SCHEMA_KEYS,
+    STATS_SCHEMA_VERSION,
+    Ingestor,
+    ServingHandle,
+    StatsView,
+    stats_from_dict,
+)
+from repro.serving.http import DetectionServer, HttpServingHandle, serve_http
+from repro.serving.model_registry import ModelRegistry, RegistryEntry
 
 __all__ = [
     "ArtifactError",
@@ -29,7 +50,20 @@ __all__ = [
     "BehaviorEvaluation",
     "BehaviorModel",
     "BehaviorRecord",
+    "DetectionServer",
     "EvaluationReport",
+    "HttpError",
+    "HttpServingHandle",
+    "Ingestor",
+    "ModelRegistry",
+    "RegistryEntry",
+    "RegistryError",
     "SCHEMA_VERSION",
+    "STATS_SCHEMA_KEYS",
+    "STATS_SCHEMA_VERSION",
+    "ServingHandle",
+    "StatsView",
     "Workspace",
+    "serve_http",
+    "stats_from_dict",
 ]

@@ -254,18 +254,21 @@ class BehaviorModel:
         """
         path = Path(path)
         members = self._members()
-        if path.suffix == BUNDLE_SUFFIX:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as archive:
+        try:
+            if path.suffix == BUNDLE_SUFFIX:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as archive:
+                    for name in _MEMBERS:
+                        info = zipfile.ZipInfo(name, date_time=_ZIP_EPOCH)
+                        info.compress_type = zipfile.ZIP_DEFLATED
+                        info.external_attr = 0o644 << 16
+                        archive.writestr(info, members[name])
+            else:
+                path.mkdir(parents=True, exist_ok=True)
                 for name in _MEMBERS:
-                    info = zipfile.ZipInfo(name, date_time=_ZIP_EPOCH)
-                    info.compress_type = zipfile.ZIP_DEFLATED
-                    info.external_attr = 0o644 << 16
-                    archive.writestr(info, members[name])
-        else:
-            path.mkdir(parents=True, exist_ok=True)
-            for name in _MEMBERS:
-                (path / name).write_text(members[name], encoding="utf-8")
+                    (path / name).write_text(members[name], encoding="utf-8")
+        except OSError as exc:
+            raise ArtifactError(f"{path}: cannot write model bundle: {exc}") from exc
         return path
 
     @classmethod
@@ -343,22 +346,22 @@ class BehaviorModel:
 # ----------------------------------------------------------------------
 def _read_members(path: Path) -> dict[str, str]:
     """Fetch all bundle member texts from a directory or ``.tgm`` zip."""
-    if path.is_dir():
-        members: dict[str, str] = {}
-        for name in _MEMBERS:
-            member = path / name
-            if not member.is_file():
-                raise ArtifactError(f"{path}: bundle member missing: {name}")
-            members[name] = member.read_text(encoding="utf-8")
-        return members
-    if not path.exists():
-        raise ArtifactError(f"{path}: no such model bundle")
-    if not zipfile.is_zipfile(path):
-        raise ArtifactError(
-            f"{path}: not a model bundle (expected a bundle directory or a "
-            f"{BUNDLE_SUFFIX} zip archive)"
-        )
     try:
+        if path.is_dir():
+            members: dict[str, str] = {}
+            for name in _MEMBERS:
+                member = path / name
+                if not member.is_file():
+                    raise ArtifactError(f"{path}: bundle member missing: {name}")
+                members[name] = member.read_text(encoding="utf-8")
+            return members
+        if not path.exists():
+            raise ArtifactError(f"{path}: no such model bundle")
+        if not zipfile.is_zipfile(path):
+            raise ArtifactError(
+                f"{path}: not a model bundle (expected a bundle directory or a "
+                f"{BUNDLE_SUFFIX} zip archive)"
+            )
         with zipfile.ZipFile(path) as archive:
             names = set(archive.namelist())
             missing = [name for name in _MEMBERS if name not in names]
@@ -367,6 +370,8 @@ def _read_members(path: Path) -> dict[str, str]:
             return {name: archive.read(name).decode("utf-8") for name in _MEMBERS}
     except zipfile.BadZipFile as exc:
         raise ArtifactError(f"{path}: corrupt bundle archive: {exc}") from exc
+    except OSError as exc:
+        raise ArtifactError(f"{path}: cannot read model bundle: {exc}") from exc
 
 
 def _parse_json(path: Path | str, member: str, text: str) -> dict:

@@ -26,6 +26,7 @@ span-identical detections (asserted by ``tests/test_api.py``).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
@@ -43,7 +44,9 @@ from repro.experiments.harness import (
 )
 from repro.query.engine import QueryEngine
 from repro.query.evaluation import PrecisionRecall, evaluate_spans, pool_spans
-from repro.serving import DetectionFleet, Ingestor
+from repro.serving import DetectionFleet, Ingestor, ServingHandle
+from repro.serving.http import HttpServingHandle, serve_http
+from repro.serving.model_registry import ModelRegistry, RegistryEntry
 from repro.serving.service import DetectionService
 from repro.syscall.collector import (
     TestData,
@@ -277,36 +280,52 @@ class Workspace:
         behaviors: Sequence[str] | None = None,
         use_prefilter: bool = True,
         shards: int | None = None,
+        registry: ModelRegistry | str | Path | None = None,
+        version: int | None = None,
         **fleet_options,
-    ) -> Ingestor:
+    ) -> ServingHandle:
         """Build a streaming deployment with the model's queries registered.
 
-        With ``shards`` unset this returns a single-window
-        :class:`DetectionService`; with ``shards`` set it delegates to
-        :meth:`serve_fleet`.  Either way the result satisfies the
-        :class:`~repro.serving.Ingestor` protocol and is ready to
-        ``ingest``/``replay``; a model mined (or loaded) in this process
-        serves exactly the queries the bundle describes, so detections
-        in a fresh serving process are span-identical to the mining
-        process's batch :meth:`query` over the same log.
+        With ``shards`` unset the deployment is a single-window
+        :class:`DetectionService`; with ``shards`` set, a sharded
+        multi-tenant :class:`~repro.serving.DetectionFleet` (events route
+        by tenant key — ``src_key`` prefix before ``"|"`` by default —
+        and extra keyword options like ``runner``, ``queue_depth``,
+        ``tenant_key``, ``assign``, ``start_method`` forward to the
+        fleet constructor).  Either way the returned
+        :class:`~repro.serving.ServingHandle` satisfies the
+        :class:`~repro.serving.Ingestor` protocol by delegation — ready
+        to ``ingest``/``replay`` — and adds the deployment lifecycle:
+        ``reload`` (hot-swap a new model without dropping the window),
+        ``close()``, context-manager use, and the :class:`ModelRegistry`
+        it serves from when ``registry`` is given.
+
+        A model mined (or loaded) in this process serves exactly the
+        queries the bundle describes, so detections in a fresh serving
+        process are span-identical to the mining process's batch
+        :meth:`query` over the same log.
         """
+        ingestor: Ingestor
         if shards is not None:
-            return self.serve_fleet(
-                model,
+            ingestor = DetectionFleet(
                 shards=shards,
                 window_span=window_span,
-                behaviors=behaviors,
                 use_prefilter=use_prefilter,
                 **fleet_options,
             )
-        if fleet_options:
-            unexpected = ", ".join(sorted(fleet_options))
-            raise TypeError(
-                f"serve() options only valid with shards=: {unexpected}"
+        else:
+            if fleet_options:
+                unexpected = ", ".join(sorted(fleet_options))
+                raise TypeError(
+                    f"serve() options only valid with shards=: {unexpected}"
+                )
+            ingestor = DetectionService(
+                window_span=window_span, use_prefilter=use_prefilter
             )
-        service = DetectionService(window_span=window_span, use_prefilter=use_prefilter)
-        service.register_all(model.queries(behaviors))
-        return service
+        ingestor.register_all(model.queries(behaviors))
+        if registry is not None and not isinstance(registry, ModelRegistry):
+            registry = ModelRegistry(registry)
+        return ServingHandle(ingestor, model=model, registry=registry, version=version)
 
     def serve_fleet(
         self,
@@ -316,26 +335,81 @@ class Workspace:
         behaviors: Sequence[str] | None = None,
         use_prefilter: bool = True,
         **fleet_options,
-    ) -> DetectionFleet:
-        """Build a sharded multi-tenant fleet serving the model's queries.
+    ) -> ServingHandle:
+        """Deprecated alias for :meth:`serve` with ``shards=``.
 
-        Events route by tenant key (``src_key`` prefix before ``"|"`` by
-        default) to per-tenant services spread across ``shards`` shards;
-        fleet detections are exactly the union of what per-tenant serial
-        services would report.  Extra keyword options (``runner``,
-        ``queue_depth``, ``tenant_key``, ``assign``, ``start_method``)
-        forward to :class:`~repro.serving.DetectionFleet`.  Remember to
-        ``close()`` the fleet (or use it as a context manager) when the
-        ``runner="process"`` shards should shut down.
+        .. deprecated::
+            ``serve()`` is the one deployment entry point; it returns the
+            same fleet-backed :class:`~repro.serving.ServingHandle` this
+            does.  Call ``serve(model, shards=N, ...)`` instead.
         """
-        fleet = DetectionFleet(
-            shards=shards,
+        warnings.warn(
+            "Workspace.serve_fleet() is deprecated; call "
+            "Workspace.serve(model, shards=N, ...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.serve(
+            model,
             window_span=window_span,
+            behaviors=behaviors,
             use_prefilter=use_prefilter,
+            shards=shards,
             **fleet_options,
         )
-        fleet.register_all(model.queries(behaviors))
-        return fleet
+
+    def serve_http(
+        self,
+        model: BehaviorModel,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: ModelRegistry | str | Path | None = None,
+        window_span: int | None = None,
+        behaviors: Sequence[str] | None = None,
+        use_prefilter: bool = True,
+        version: int | None = None,
+        canary_batches: int | None = None,
+    ) -> HttpServingHandle:
+        """Put a model behind the HTTP serving tier (see ``serving/http.py``).
+
+        Builds the same single-service deployment as :meth:`serve` and
+        binds it to ``host:port`` (``port=0`` picks an ephemeral port).
+        With ``registry`` given, the ``/v1/models`` endpoints manage
+        versioned bundles, run canaries, and promote — promotion
+        hot-reloads the live deployment without dropping its window.
+        The returned handle is not serving until
+        ``start_background()``/``serve_forever()``.
+        """
+        handle = self.serve(
+            model,
+            window_span=window_span,
+            behaviors=behaviors,
+            use_prefilter=use_prefilter,
+            registry=registry,
+            version=version,
+        )
+        options = {} if canary_batches is None else {"canary_batches": canary_batches}
+        return serve_http(
+            handle, host=host, port=port, registry=handle.registry, **options
+        )
+
+    # ------------------------------------------------------------------
+    # model registry accessors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def open_registry(root: str | Path) -> ModelRegistry:
+        """Open (creating if absent) a model registry directory."""
+        return ModelRegistry(root)
+
+    @staticmethod
+    def publish_model(
+        registry: ModelRegistry | str | Path,
+        model: BehaviorModel | str | Path,
+    ) -> RegistryEntry:
+        """Publish a model (object or bundle path) into a registry."""
+        if not isinstance(registry, ModelRegistry):
+            registry = ModelRegistry(registry)
+        return registry.publish(model)
 
     # ------------------------------------------------------------------
     # convenience passthroughs

@@ -9,6 +9,8 @@ Usage (after install)::
     python -m repro inspect sshd.tgm
     python -m repro pack sshd.tgm sshd-bundle/
     python -m repro detect --model sshd.tgm --instances 24 --batch-size 256
+    python -m repro serve --http 127.0.0.1:8750 --model sshd.tgm \\
+        --registry registry/
     python -m repro behaviors
     python -m repro --version
 
@@ -24,6 +26,12 @@ zip forms, ``inspect`` prints a bundle's manifest summary.  Both
 ``mine`` and ``detect`` accept ``--profile``, which wraps the run in
 ``cProfile`` and appends the top-20 cumulative hot spots to the report —
 perf PRs should start from that data.
+
+``serve`` (formerly an alias of ``detect``) is the long-running
+deployment command: it binds a model — given directly or taken from a
+model registry's active version — to an HTTP address and serves the
+``/v1/*`` JSON protocol (ingest, stats, model publish, canary,
+promotion with hot reload; see :mod:`repro.serving.http`).
 """
 
 from __future__ import annotations
@@ -167,7 +175,6 @@ def build_parser() -> argparse.ArgumentParser:
 
     det = sub.add_parser(
         "detect",
-        aliases=["serve"],
         help="replay a syscall log as a stream and detect behavior instances",
     )
     queries = det.add_mutually_exclusive_group(required=True)
@@ -255,6 +262,53 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run under cProfile and print the top-20 cumulative hot "
         "spots after the normal output (perf-work reconnaissance)",
+    )
+
+    srv = sub.add_parser(
+        "serve",
+        help="serve a model over HTTP: ingest, stats, registry, canary promote",
+    )
+    srv.add_argument(
+        "--http",
+        required=True,
+        metavar="HOST:PORT",
+        help="bind address (PORT 0 picks an ephemeral port, printed on start)",
+    )
+    srv.add_argument(
+        "--model",
+        default=None,
+        help="model bundle to serve (directory or .tgm); with --registry it "
+        "is published there first (idempotent)",
+    )
+    srv.add_argument(
+        "--registry",
+        default=None,
+        metavar="DIR",
+        help="model registry directory (created if absent); enables the "
+        "/v1/models endpoints — publish, canary, promote with hot reload. "
+        "Without --model, the registry's active version is served",
+    )
+    srv.add_argument(
+        "--canary-batches",
+        type=int,
+        default=None,
+        metavar="N",
+        help="default live batches a canary observes before completion "
+        "(per-request 'batches' overrides)",
+    )
+    srv.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="eviction window on the event-time axis "
+        "(default: the widest served query span)",
+    )
+    srv.add_argument(
+        "--index",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="use the registry's shared signature prefilter "
+        "(--no-index disables; detections are identical either way)",
     )
 
     pack = sub.add_parser(
@@ -500,6 +554,65 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    host, _, port_text = args.http.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(
+            f"error: --http expects HOST:PORT, got {args.http!r}", file=sys.stderr
+        )
+        return 2
+    if args.model is None and args.registry is None:
+        print("error: serve needs --model and/or --registry", file=sys.stderr)
+        return 2
+
+    from repro.serving.model_registry import ModelRegistry
+
+    registry = ModelRegistry(args.registry) if args.registry is not None else None
+    if args.model is not None:
+        model = BehaviorModel.load(args.model)
+        version = registry.publish(model).version if registry is not None else None
+    else:
+        version = registry.active_version
+        if version is None:
+            print(
+                f"error: registry {args.registry} is empty; publish a model "
+                "first or pass --model",
+                file=sys.stderr,
+            )
+            return 2
+        model = registry.load(version)
+
+    ws = Workspace()
+    options = (
+        {} if args.canary_batches is None else {"canary_batches": args.canary_batches}
+    )
+    server = ws.serve_http(
+        model,
+        host=host,
+        port=int(port_text),
+        registry=registry,
+        window_span=args.window,
+        use_prefilter=args.index,
+        version=version,
+        **options,
+    )
+    bound_host, bound_port = server.address
+    served = f"v{version}" if version is not None else args.model
+    print(
+        f"serving {served} ({len(model.queries())} queries) on "
+        f"http://{bound_host}:{bound_port} — POST /v1/ingest, GET /v1/stats"
+        + (f"; registry {args.registry}" if registry is not None else ""),
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.close()
+    return 0
+
+
 def _cmd_pack(args: argparse.Namespace) -> int:
     model = BehaviorModel.load(args.src)
     path = model.save(args.dst)
@@ -550,7 +663,7 @@ def main(argv: list[str] | None = None) -> int:
         "mine": _cmd_mine,
         "experiment": _cmd_experiment,
         "detect": _cmd_detect,
-        "serve": _cmd_detect,
+        "serve": _cmd_serve,
         "pack": _cmd_pack,
         "inspect": _cmd_inspect,
         "behaviors": _cmd_behaviors,

@@ -50,3 +50,25 @@ class ArtifactError(ReproError):
     """Raised for invalid :class:`~repro.api.model.BehaviorModel` bundles:
     unreadable or structurally corrupt files, missing bundle members, or a
     schema version this library release cannot interpret."""
+
+
+class RegistryError(ReproError):
+    """Raised by the :class:`~repro.serving.model_registry.ModelRegistry`
+    for invalid registry state: an unreadable or unwritable registry
+    directory, a corrupt manifest, an unknown version, or a promotion
+    that violates the candidate -> active -> retired state machine."""
+
+
+class HttpError(ReproError):
+    """A serving-tier request error carrying its HTTP status code.
+
+    Raised by :class:`~repro.serving.http.DetectionServer` operations for
+    conditions that map directly onto a client-visible response (unknown
+    route or version -> 404, malformed payload -> 400, canary/promotion
+    conflicts -> 409).  The HTTP handler turns any :class:`ReproError`
+    into a JSON error response; this subclass just pins the status.
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = int(status)

@@ -35,6 +35,8 @@ __all__ = [
     "corpus_behaviors",
     "save_events_jsonl",
     "load_events_jsonl",
+    "event_to_dict",
+    "event_from_dict",
     "iter_jsonl_objects",
 ]
 
@@ -158,6 +160,38 @@ def load_corpus(root: str | Path, behaviors: Sequence[str] | None = None):
     )
 
 
+def event_to_dict(event: SyscallEvent) -> dict:
+    """Serialize one syscall event to the shared JSON schema.
+
+    The one event codec: the jsonl log writer below and the HTTP
+    ``POST /v1/ingest`` body both speak this shape, so a recorded log
+    can be replayed over the wire line-for-line.
+    """
+    return {
+        "time": event.time,
+        "syscall": event.syscall,
+        "src_key": event.src_key,
+        "src_label": event.src_label,
+        "dst_key": event.dst_key,
+        "dst_label": event.dst_label,
+    }
+
+
+def event_from_dict(payload: dict) -> SyscallEvent:
+    """Deserialize one syscall event; :class:`DatasetError` if malformed."""
+    try:
+        return SyscallEvent(
+            time=int(payload["time"]),
+            syscall=str(payload["syscall"]),
+            src_key=str(payload["src_key"]),
+            src_label=str(payload["src_label"]),
+            dst_key=str(payload["dst_key"]),
+            dst_label=str(payload["dst_label"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DatasetError(f"malformed event payload: {exc}") from exc
+
+
 def save_events_jsonl(events: Sequence[SyscallEvent], path: str | Path) -> int:
     """Write a raw syscall event log to a jsonl file; returns the count.
 
@@ -167,19 +201,7 @@ def save_events_jsonl(events: Sequence[SyscallEvent], path: str | Path) -> int:
     count = 0
     with open(path, "w", encoding="utf-8") as handle:
         for event in events:
-            handle.write(
-                json.dumps(
-                    {
-                        "time": event.time,
-                        "syscall": event.syscall,
-                        "src_key": event.src_key,
-                        "src_label": event.src_label,
-                        "dst_key": event.dst_key,
-                        "dst_label": event.dst_label,
-                    }
-                )
-                + "\n"
-            )
+            handle.write(json.dumps(event_to_dict(event)) + "\n")
             count += 1
     return count
 
@@ -189,18 +211,7 @@ def load_events_jsonl(path: str | Path) -> list[SyscallEvent]:
     events: list[SyscallEvent] = []
     for line_no, payload in iter_jsonl_objects(path):
         try:
-            events.append(
-                SyscallEvent(
-                    time=int(payload["time"]),
-                    syscall=str(payload["syscall"]),
-                    src_key=str(payload["src_key"]),
-                    src_label=str(payload["src_label"]),
-                    dst_key=str(payload["dst_key"]),
-                    dst_label=str(payload["dst_label"]),
-                )
-            )
-        except (KeyError, TypeError, ValueError) as exc:
-            raise DatasetError(
-                f"{path}:{line_no}: malformed event payload: {exc}"
-            ) from exc
+            events.append(event_from_dict(payload))
+        except DatasetError as exc:
+            raise DatasetError(f"{path}:{line_no}: {exc}") from exc
     return events

@@ -17,22 +17,36 @@ serving half of that deployment:
 * :mod:`repro.serving.fleet` — :class:`DetectionFleet`, the multi-tenant
   tier: events routed by tenant key across N shards of per-tenant
   services (inline or one worker process per shard), with bounded
-  queues, backpressure accounting, and a :class:`FleetStats` rollup.
+  queues, backpressure accounting, and a :class:`FleetStats` rollup;
+* :mod:`repro.serving.model_registry` — :class:`ModelRegistry`, a
+  versioned on-disk store of deployable ``.tgm`` bundles with a
+  candidate → active → retired promotion state machine;
+* :mod:`repro.serving.http` — :class:`DetectionServer` /
+  :func:`serve_http`, the stdlib HTTP tier exposing ingest, stats,
+  registry management, hot reload, and canary promotion over ``/v1/*``.
 
 Batch and streaming share one matching core
 (:func:`repro.core.graph_index.find_matches`): the batch
 :class:`~repro.query.engine.QueryEngine` is "ingest everything, then
 flush" over the same join.
 
-Single service and fleet share one caller surface — the
-:class:`Ingestor` protocol below.  ``Workspace.serve``, the CLI
-``detect``/``serve`` handlers, and the serving benchmarks are written
-against it, so swapping a one-host service for a sharded fleet is a
-constructor change, not a rewrite.
+Every deployment shares one caller surface — the
+:class:`~repro.serving.contracts.Ingestor` protocol and the versioned
+stats schema, both defined in :mod:`repro.serving.contracts` and
+re-exported from :mod:`repro.api` (the canonical import path).
+``Workspace.serve``, the CLI handlers, the HTTP tier, and the serving
+benchmarks are written against it, so swapping a one-host service for a
+sharded fleet is a constructor change, not a rewrite.
 """
 
-from typing import Iterator, Protocol, Sequence, runtime_checkable
-
+from repro.serving.contracts import (
+    STATS_SCHEMA_KEYS,
+    STATS_SCHEMA_VERSION,
+    Ingestor,
+    ServingHandle,
+    StatsView,
+    stats_from_dict,
+)
 from repro.serving.fleet import (
     DEFAULT_TENANT,
     TENANT_SEPARATOR,
@@ -52,8 +66,9 @@ from repro.serving.registry import (
     load_queries_jsonl,
     save_queries_jsonl,
 )
+from repro.serving.http import DetectionServer, HttpServingHandle, serve_http
+from repro.serving.model_registry import ModelRegistry, RegistryEntry
 from repro.serving.service import (
-    STATS_SCHEMA_KEYS,
     Detection,
     DetectionService,
     LatencyReservoir,
@@ -61,66 +76,28 @@ from repro.serving.service import (
     merged_latency_percentile,
 )
 from repro.serving.streaming import IngestDelta, StreamingGraph, StreamStats
-from repro.syscall.events import SyscallEvent
-
-
-@runtime_checkable
-class Ingestor(Protocol):
-    """The one ingest surface every detection deployment speaks.
-
-    :class:`DetectionService` (one host, one window) and
-    :class:`DetectionFleet` (many tenants, sharded) both satisfy it.
-    Implementations differ in what their methods *return* — a service
-    reports :class:`Detection`, a fleet :class:`FleetDetection` (which
-    adds tenant/shard attribution) — but the shapes line up: detections
-    expose ``query``/``span``, and ``stats`` exposes ``as_dict()``
-    emitting the shared :data:`~repro.serving.service.STATS_SCHEMA_KEYS`
-    schema.  Code written against this protocol (``Workspace.serve``,
-    the CLI handlers, ``bench_serving.py``) runs against either.
-
-    Lifecycle: ``register_all`` every query first, then ``ingest`` /
-    ``replay`` freely, and ``close()`` when done (a no-op for in-process
-    deployments, a worker shutdown for process fleets).
-    """
-
-    def register_all(self, queries: Sequence[BehaviorQuery]) -> list[int]:
-        """Register the query slate; returns the assigned query ids."""
-        ...
-
-    def ingest(self, events: Sequence[SyscallEvent]) -> list:
-        """Ingest one event batch; return newly identified instances."""
-        ...
-
-    def replay(
-        self, events: Sequence[SyscallEvent], batch_size: int
-    ) -> Iterator[tuple[int, list]]:
-        """Feed a recorded log through ingest, yielding per-batch results."""
-        ...
-
-    @property
-    def stats(self):
-        """Current ingest statistics (``.as_dict()`` → shared schema)."""
-        ...
-
-    def close(self) -> None:
-        """Release any held resources; idempotent."""
-        ...
-
 
 __all__ = [
     "BehaviorQuery",
     "DEFAULT_TENANT",
     "Detection",
     "DetectionFleet",
+    "DetectionServer",
     "DetectionService",
     "FleetDetection",
     "FleetStats",
+    "HttpServingHandle",
     "IngestDelta",
     "Ingestor",
     "LatencyReservoir",
+    "ModelRegistry",
     "QueryRegistry",
+    "RegistryEntry",
     "STATS_SCHEMA_KEYS",
+    "STATS_SCHEMA_VERSION",
     "ServiceStats",
+    "ServingHandle",
+    "StatsView",
     "StreamingGraph",
     "StreamStats",
     "TENANT_SEPARATOR",
@@ -129,8 +106,10 @@ __all__ = [
     "load_queries_jsonl",
     "merged_latency_percentile",
     "save_queries_jsonl",
+    "serve_http",
     "shard_for_tenant",
     "simulate_tenant_streams",
+    "stats_from_dict",
     "tag_tenant_events",
     "tenant_key_for_separator",
 ]

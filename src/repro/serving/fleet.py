@@ -58,6 +58,7 @@ from typing import Callable, Iterator, Sequence
 
 from repro.core.errors import ServingError
 from repro.core.parallel import resolve_start_method
+from repro.serving.contracts import STATS_SCHEMA_VERSION
 from repro.core.shm import BlobDescriptor, attach_blob, publish_blob
 from repro.serving.registry import BehaviorQuery, query_from_dict, query_to_dict
 from repro.serving.service import (
@@ -316,6 +317,7 @@ class FleetStats:
         fleet-only rollup extras (``per_shard`` nests each shard's own
         ``as_dict``)."""
         return {
+            "schema_version": STATS_SCHEMA_VERSION,
             "kind": "fleet",
             "batches": self.batches,
             "events": self.events,
@@ -393,6 +395,12 @@ class _ShardState:
         delta = {key: current[key] - previous[key] for key in current}
         self._previous[tenant] = current
         return detections, delta, elapsed
+
+    def reload(self, queries: Sequence[BehaviorQuery]) -> None:
+        """Swap the slate on every open tenant service + future tenants."""
+        self._queries = list(queries)
+        for service in self._services.values():
+            service.reload(self._queries)
 
 
 def _shard_worker(
@@ -539,6 +547,35 @@ class DetectionFleet:
     def register_all(self, queries: Sequence[BehaviorQuery]) -> list[int]:
         """Register a query batch (the model-bundle serving path)."""
         return [self.register(query) for query in queries]
+
+    def reload(self, queries: Sequence[BehaviorQuery]) -> list[int]:
+        """Hot-swap the query slate on every tenant window (inline only).
+
+        Each open tenant service performs its own warmed
+        :meth:`~repro.serving.service.DetectionService.reload`, so every
+        tenant keeps its retained window; tenants first seen after the
+        reload register the new slate from the start.  Process-runner
+        fleets snapshot the slate in their workers at startup and do not
+        support reload — restart the fleet (or run the HTTP tier over an
+        inline fleet / single service) to swap models there.
+        """
+        if self.runner != "inline":
+            raise ServingError(
+                "hot reload is only supported on inline fleets; process "
+                "workers snapshot the query slate at startup — restart the "
+                "fleet to change models"
+            )
+        for query in queries:
+            if self.window_span is not None and query.max_span > self.window_span:
+                raise ServingError(
+                    f"query {query.name!r} has max_span {query.max_span} wider "
+                    f"than the fleet window {self.window_span}; widen the "
+                    "window or shorten the query cap"
+                )
+        self._queries = list(queries)
+        for state in self._states:
+            state.reload(self._queries)
+        return list(range(len(self._queries)))
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -1,0 +1,435 @@
+"""Versioned on-disk registry of deployable ``.tgm`` model bundles.
+
+PR 5's :class:`~repro.api.model.BehaviorModel` bundles are deployable
+artifacts; this module gives them somewhere to deploy *to*.  A
+:class:`ModelRegistry` is a directory that stores every published bundle
+content-hashed and immutable, indexes them in a manifest, and tracks the
+promotion state machine the HTTP serving tier drives::
+
+    registry/
+    ├── registry.json        manifest: format tag + schema version,
+    │                        entry list, the active version pointer
+    ├── models/
+    │   ├── v0001-9f2ab31c04d7.tgm     immutable, content-addressed
+    │   └── v0002-11c0de8e21aa.tgm     (digest = sha256 of bundle bytes)
+    └── .lock                cross-process mutation lock
+
+Design points:
+
+* **Content-hashed, append-only.**  ``save()`` is deterministic (PR 5),
+  so the sha256 of the zipped bundle is a true content address:
+  publishing byte-identical bundles twice is idempotent and returns the
+  existing version instead of minting a new one.  Bundle files are never
+  rewritten; the manifest is replaced atomically (temp file +
+  ``os.replace``), so readers need no lock.
+* **Concurrent-safe.**  Mutations (publish/promote) serialize on an
+  ``flock`` over ``.lock`` and re-read the manifest inside the lock, so
+  several processes can share one registry directory.
+* **Promotion state machine.**  Every entry is ``candidate`` (published,
+  never promoted), ``active`` (serving; at most one), or ``retired``
+  (previously active).  ``promote(v)`` retires the current active entry
+  and activates ``v`` — including a *retired* ``v``, which is how a
+  rollback is expressed.  The very first publish auto-activates so a
+  fresh registry is immediately servable.  The canary comparison that
+  *gates* promotion is a live-stream concern and lives in the serving
+  tier (:mod:`repro.serving.http`); the registry records the outcome.
+
+All filesystem failures surface as :class:`~repro.core.errors.RegistryError`
+(wrapping the ``OSError``), so callers — the CLI in particular — handle
+an unwritable registry directory like any other typed library error.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.errors import ArtifactError, RegistryError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.model import BehaviorModel
+
+try:  # pragma: no cover - platform probe
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+__all__ = [
+    "ModelRegistry",
+    "RegistryEntry",
+    "REGISTRY_SCHEMA_VERSION",
+    "STATE_ACTIVE",
+    "STATE_CANDIDATE",
+    "STATE_RETIRED",
+]
+
+#: Manifest schema version; readers reject manifests from a newer writer.
+REGISTRY_SCHEMA_VERSION = 1
+
+_FORMAT_TAG = "tgm-registry"
+_MANIFEST = "registry.json"
+_MODELS_DIR = "models"
+_LOCKFILE = ".lock"
+
+STATE_CANDIDATE = "candidate"
+STATE_ACTIVE = "active"
+STATE_RETIRED = "retired"
+_STATES = (STATE_CANDIDATE, STATE_ACTIVE, STATE_RETIRED)
+
+#: Hex digits of the content digest carried in the bundle filename.
+_DIGEST_PREFIX = 12
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One published model version: identity, provenance, and state."""
+
+    version: int
+    digest: str
+    state: str
+    filename: str
+    created: float
+    library_version: str
+    behaviors: tuple[str, ...]
+    queries: int
+    size_bytes: int
+
+    def as_dict(self) -> dict:
+        """JSON-compatible form (the manifest's and the HTTP tier's)."""
+        return {
+            "version": self.version,
+            "digest": self.digest,
+            "state": self.state,
+            "filename": self.filename,
+            "created": self.created,
+            "library_version": self.library_version,
+            "behaviors": list(self.behaviors),
+            "queries": self.queries,
+            "size_bytes": self.size_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RegistryEntry":
+        """Decode a manifest entry; raises :class:`RegistryError` if bad."""
+        try:
+            entry = cls(
+                version=int(payload["version"]),
+                digest=str(payload["digest"]),
+                state=str(payload["state"]),
+                filename=str(payload["filename"]),
+                created=float(payload["created"]),
+                library_version=str(payload["library_version"]),
+                behaviors=tuple(str(b) for b in payload["behaviors"]),
+                queries=int(payload["queries"]),
+                size_bytes=int(payload["size_bytes"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RegistryError(f"malformed registry entry: {exc}") from exc
+        if entry.state not in _STATES:
+            raise RegistryError(
+                f"registry entry v{entry.version} has unknown state "
+                f"{entry.state!r} (expected one of {', '.join(_STATES)})"
+            )
+        return entry
+
+
+class ModelRegistry:
+    """A versioned store of model bundles under one root directory.
+
+    Opening a registry creates the directory layout if absent.  All
+    reads go through the manifest on disk (no instance caching), so any
+    number of :class:`ModelRegistry` instances — across processes — see
+    each other's publishes as soon as they land.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self._models = self.root / _MODELS_DIR
+        self._manifest_path = self.root / _MANIFEST
+        self._lock_path = self.root / _LOCKFILE
+        try:
+            self._models.mkdir(parents=True, exist_ok=True)
+            self._lock_path.touch(exist_ok=True)
+            if not self._manifest_path.exists():
+                self._write_manifest({"entries": [], "active": None})
+        except OSError as exc:
+            raise RegistryError(
+                f"cannot open model registry at {self.root}: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # read surface
+    # ------------------------------------------------------------------
+    def entries(self) -> list[RegistryEntry]:
+        """All published versions, ascending."""
+        manifest = self._read_manifest()
+        return [RegistryEntry.from_dict(e) for e in manifest["entries"]]
+
+    def entry(self, version: int) -> RegistryEntry:
+        """One version's entry; :class:`RegistryError` if unknown."""
+        for entry in self.entries():
+            if entry.version == version:
+                return entry
+        known = ", ".join(f"v{e.version}" for e in self.entries()) or "<empty>"
+        raise RegistryError(
+            f"registry {self.root} has no version {version} (it holds: {known})"
+        )
+
+    @property
+    def active_version(self) -> int | None:
+        """The currently promoted version (``None`` on a fresh registry)."""
+        active = self._read_manifest()["active"]
+        return int(active) if active is not None else None
+
+    @property
+    def latest_version(self) -> int | None:
+        """The newest published version (``None`` when empty)."""
+        entries = self.entries()
+        return entries[-1].version if entries else None
+
+    def path_for(self, version: int) -> Path:
+        """Filesystem path of one version's immutable bundle file."""
+        return self._models / self.entry(version).filename
+
+    def load(self, version: int) -> "BehaviorModel":
+        """Load one version's :class:`~repro.api.model.BehaviorModel`.
+
+        Verifies the stored bytes still match the manifest digest before
+        parsing — a registry is long-lived shared state, and serving a
+        silently corrupted bundle would be far worse than failing.
+        """
+        # local import: repro.api imports the serving implementations, so
+        # the artifact layer must be pulled in lazily to stay acyclic
+        from repro.api.model import BehaviorModel
+
+        entry = self.entry(version)
+        path = self._models / entry.filename
+        try:
+            payload = path.read_bytes()
+        except OSError as exc:
+            raise RegistryError(
+                f"registry bundle v{version} unreadable at {path}: {exc}"
+            ) from exc
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != entry.digest:
+            raise RegistryError(
+                f"registry bundle v{version} is corrupt: stored digest "
+                f"{digest[:_DIGEST_PREFIX]} != manifest digest "
+                f"{entry.digest[:_DIGEST_PREFIX]}"
+            )
+        return BehaviorModel.load(path)
+
+    def describe(self) -> str:
+        """Human-readable listing (newest first)."""
+        entries = self.entries()
+        if not entries:
+            return f"registry {self.root}: empty"
+        lines = [f"registry {self.root}: {len(entries)} version(s)"]
+        for entry in reversed(entries):
+            lines.append(
+                f"  v{entry.version:<4d} {entry.state:9s} "
+                f"{entry.digest[:_DIGEST_PREFIX]}  "
+                f"{len(entry.behaviors)} behaviors / {entry.queries} queries  "
+                f"({entry.size_bytes} bytes, repro {entry.library_version})"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+    def publish(self, model: "BehaviorModel | str | Path") -> RegistryEntry:
+        """Publish a model (object, bundle dir, or ``.tgm``); idempotent.
+
+        The bundle is written content-hashed under ``models/``; if the
+        exact bytes are already published, the existing entry is
+        returned and nothing is minted.  The first version ever
+        published auto-activates so a fresh registry is servable.
+        """
+        from repro.api.model import BehaviorModel
+
+        if not isinstance(model, BehaviorModel):
+            model = BehaviorModel.load(model)
+
+        # render the canonical bytes outside the lock (deterministic save
+        # => digest is a pure content address)
+        staging = self._models / f".staging-{os.getpid()}.tgm"
+        try:
+            model.save(staging)
+            payload = staging.read_bytes()
+        except ArtifactError:
+            self._discard(staging)
+            raise
+        except OSError as exc:
+            self._discard(staging)
+            raise RegistryError(
+                f"cannot write bundle into registry {self.root}: {exc}"
+            ) from exc
+        digest = hashlib.sha256(payload).hexdigest()
+
+        try:
+            with self._locked():
+                manifest = self._read_manifest()
+                entries = [RegistryEntry.from_dict(e) for e in manifest["entries"]]
+                for entry in entries:
+                    if entry.digest == digest:
+                        self._discard(staging)
+                        return entry
+                version = entries[-1].version + 1 if entries else 1
+                filename = f"v{version:04d}-{digest[:_DIGEST_PREFIX]}.tgm"
+                os.replace(staging, self._models / filename)
+                entry = RegistryEntry(
+                    version=version,
+                    digest=digest,
+                    state=STATE_CANDIDATE,
+                    filename=filename,
+                    created=time.time(),
+                    library_version=model.library_version,
+                    behaviors=model.behaviors,
+                    queries=sum(len(r.patterns) for r in model.records.values()),
+                    size_bytes=len(payload),
+                )
+                if manifest["active"] is None:
+                    entry = replace(entry, state=STATE_ACTIVE)
+                    manifest["active"] = version
+                manifest["entries"] = [e.as_dict() for e in entries] + [
+                    entry.as_dict()
+                ]
+                self._write_manifest(manifest)
+                return entry
+        except OSError as exc:
+            raise RegistryError(
+                f"cannot publish into registry {self.root}: {exc}"
+            ) from exc
+        finally:
+            self._discard(staging)
+
+    def promote(self, version: int) -> RegistryEntry:
+        """Activate ``version``; the previously active entry retires.
+
+        Any published version may be promoted — a candidate moving
+        forward, or a retired entry rolling back.  Promoting the active
+        version is a no-op.  The *gate* (canary comparison) belongs to
+        the serving tier; see
+        :meth:`repro.serving.http.DetectionServer.promote`.
+        """
+        try:
+            with self._locked():
+                manifest = self._read_manifest()
+                entries = [RegistryEntry.from_dict(e) for e in manifest["entries"]]
+                by_version = {e.version: e for e in entries}
+                if version not in by_version:
+                    known = ", ".join(f"v{v}" for v in by_version) or "<empty>"
+                    raise RegistryError(
+                        f"cannot promote unknown version {version} "
+                        f"(registry holds: {known})"
+                    )
+                if by_version[version].state == STATE_ACTIVE:
+                    return by_version[version]
+                updated: list[RegistryEntry] = []
+                for entry in entries:
+                    if entry.version == version:
+                        entry = replace(entry, state=STATE_ACTIVE)
+                    elif entry.state == STATE_ACTIVE:
+                        entry = replace(entry, state=STATE_RETIRED)
+                    updated.append(entry)
+                manifest["entries"] = [e.as_dict() for e in updated]
+                manifest["active"] = version
+                self._write_manifest(manifest)
+                return replace(by_version[version], state=STATE_ACTIVE)
+        except OSError as exc:
+            raise RegistryError(
+                f"cannot promote v{version} in registry {self.root}: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _locked(self):
+        """Exclusive cross-process mutation lock over ``.lock``."""
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            yield
+            return
+        with open(self._lock_path, "a+") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    def _read_manifest(self) -> dict:
+        try:
+            text = self._manifest_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise RegistryError(
+                f"cannot read registry manifest {self._manifest_path}: {exc}"
+            ) from exc
+        try:
+            manifest = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise RegistryError(
+                f"corrupt registry manifest {self._manifest_path}: {exc}"
+            ) from exc
+        if not isinstance(manifest, dict) or manifest.get("format") != _FORMAT_TAG:
+            tag = manifest.get("format") if isinstance(manifest, dict) else None
+            raise RegistryError(
+                f"{self._manifest_path}: not a model-registry manifest "
+                f"(format tag {tag!r})"
+            )
+        schema = manifest.get("schema_version")
+        if not isinstance(schema, int) or schema < 1:
+            raise RegistryError(
+                f"{self._manifest_path}: invalid schema_version {schema!r}"
+            )
+        if schema > REGISTRY_SCHEMA_VERSION:
+            raise RegistryError(
+                f"{self._manifest_path}: manifest schema v{schema} is newer "
+                f"than this library supports (v{REGISTRY_SCHEMA_VERSION}); "
+                "upgrade repro to use this registry"
+            )
+        if not isinstance(manifest.get("entries"), list):
+            raise RegistryError(
+                f"{self._manifest_path}: manifest entries must be a list"
+            )
+        return manifest
+
+    def _write_manifest(self, manifest: dict) -> None:
+        payload = {
+            "format": _FORMAT_TAG,
+            "schema_version": REGISTRY_SCHEMA_VERSION,
+            "entries": manifest["entries"],
+            "active": manifest["active"],
+        }
+        tmp = self._manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        os.replace(tmp, self._manifest_path)
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError as exc:  # pragma: no cover - already moved/gone
+            if exc.errno != errno.ENOENT:
+                raise
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ModelRegistry({str(self.root)!r})"
+
+
+def registry_at(
+    registry: "ModelRegistry | str | Path", behaviors: Sequence[str] | None = None
+) -> ModelRegistry:
+    """Coerce a path-or-registry argument into a :class:`ModelRegistry`."""
+    del behaviors  # reserved; keeps the signature stable for callers
+    if isinstance(registry, ModelRegistry):
+        return registry
+    return ModelRegistry(registry)

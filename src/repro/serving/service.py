@@ -40,6 +40,7 @@ from typing import Iterable, Iterator, Sequence
 from repro.core.errors import ServingError
 from repro.core.graph_index import DEFAULT_MATCH_LIMIT, find_matches, match_span
 from repro.core.pattern import TemporalPattern
+from repro.serving.contracts import STATS_SCHEMA_KEYS, STATS_SCHEMA_VERSION
 from repro.serving.registry import BehaviorQuery, QueryRegistry
 from repro.serving.streaming import StreamingGraph
 from repro.syscall.events import SyscallEvent
@@ -54,27 +55,6 @@ __all__ = [
 ]
 
 Span = tuple[int, int]
-
-#: Keys every ingest-stats ``as_dict()`` payload carries — the one schema
-#: ``ServiceStats`` and :class:`~repro.serving.fleet.FleetStats` share, so
-#: the CLI ``--json`` report and the benchmarks read either implementation
-#: through the same keys (the fleet adds rollup-only extras on top).
-STATS_SCHEMA_KEYS = (
-    "kind",
-    "batches",
-    "events",
-    "detections",
-    "queries_evaluated",
-    "queries_prefiltered",
-    "matching_seconds",
-    "total_seconds",
-    "events_per_second",
-    "evicted",
-    "late_dropped",
-    "reinserted",
-    "latency_ms",
-    "latency_samples",
-)
 
 #: Default latency-reservoir size.  4096 samples keep the nearest-rank
 #: p95/p99 within a fraction of a rank percentile of the exact answer
@@ -273,6 +253,7 @@ class ServiceStats:
     def as_dict(self) -> dict:
         """JSON-compatible stats snapshot (:data:`STATS_SCHEMA_KEYS`)."""
         return {
+            "schema_version": STATS_SCHEMA_VERSION,
             "kind": "service",
             "batches": self.batches,
             "events": self.events,
@@ -324,6 +305,7 @@ class DetectionService:
         self.graph = StreamingGraph()
         self.use_prefilter = use_prefilter
         self.stats = ServiceStats()
+        self.reloads = 0
         self._explicit_window = window_span
         self._seen: dict[int, set[Span]] = {}
 
@@ -374,6 +356,72 @@ class DetectionService:
         if self._explicit_window is not None:
             return self._explicit_window
         return self.registry.max_span if len(self.registry) else None
+
+    def reload(self, queries: Sequence[BehaviorQuery]) -> list[int]:
+        """Swap the query slate in-place **without dropping the window**.
+
+        The new slate replaces the old one atomically from the caller's
+        point of view: the new registry and its dedup state are built and
+        *warmed* off to the side, then swapped in between ingests (the
+        HTTP tier additionally holds its ingest lock across this call so
+        no batch can interleave).  The live :class:`StreamingGraph` —
+        the retained sliding window — is untouched.
+
+        Warming evaluates every new query once against the retained
+        window and marks all fully-live matches as already reported,
+        exactly the dedup state a service that had served the new slate
+        all along would hold for the retained span.  Together with the
+        delta-only join (``min_last_index`` pins every post-reload match
+        into post-reload batches) this yields the **window retention
+        property**: detections after the reload are span-identical to a
+        fresh service that served the new model over the whole log,
+        compared from the same batch boundary — even when out-of-order
+        batches reinsert pre-reload edges (pinned by
+        ``tests/test_hot_reload.py``).  An actually-cold restart (empty
+        window) would miss every match straddling the boundary.
+
+        Caveats, both inherited from registration semantics: an explicit
+        window must still cover every new query's ``max_span`` (checked
+        before anything is swapped), and with an auto-sized window a new
+        slate *wider* than the old one cannot resurrect already-evicted
+        edges — the wider window only applies going forward.
+        """
+        for query in queries:
+            if (
+                self._explicit_window is not None
+                and query.max_span > self._explicit_window
+            ):
+                raise ServingError(
+                    f"query {query.name!r} has max_span {query.max_span} wider "
+                    f"than the service window {self._explicit_window}; its "
+                    "matches would straddle evictions — widen the window or "
+                    "shorten the query cap"
+                )
+        registry = QueryRegistry()
+        seen: dict[int, set[Span]] = {}
+        ids: list[int] = []
+        for query in queries:
+            query_id = registry.register(query)
+            seen[query_id] = set()
+            ids.append(query_id)
+        if self.graph.num_edges:
+            start_index = self.graph.first_live_index
+            for query_id, query in registry:
+                seen[query_id] = {
+                    match_span(match, self.graph)
+                    for match in find_matches(
+                        query.pattern,
+                        self.graph,
+                        max_span=query.max_span,
+                        limit=DEFAULT_MATCH_LIMIT,
+                        start_index=start_index,
+                        min_last_index=start_index,
+                    )
+                }
+        self.registry = registry
+        self._seen = seen
+        self.reloads += 1
+        return ids
 
     # ------------------------------------------------------------------
     # ingestion

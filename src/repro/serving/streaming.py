@@ -237,6 +237,31 @@ class StreamingGraph:
         """
         return Signature(self._sig_nodes, self._sig_pairs)
 
+    def window_events(self) -> list[SyscallEvent]:
+        """Reconstruct the live window as a time-ordered event list.
+
+        The returned events rebuild an identical window when ingested
+        into a fresh :class:`StreamingGraph` (same entity keys, labels,
+        and timestamps; the synthetic ``syscall`` name is not part of
+        graph identity).  This is how the canary tier seeds a shadow
+        service with the primary's retained window so old and new models
+        are compared over the same live state.
+        """
+        events: list[SyscallEvent] = []
+        for i in range(self._first_live, len(self._store)):
+            edge = self._store[i]
+            events.append(
+                SyscallEvent(
+                    time=edge.time,
+                    syscall="window-replay",
+                    src_key=self._key_of_node[edge.src],
+                    src_label=self._label_of_node[edge.src],
+                    dst_key=self._key_of_node[edge.dst],
+                    dst_label=self._label_of_node[edge.dst],
+                )
+            )
+        return events
+
     def as_temporal_graph(self, name: str = "") -> TemporalGraph:
         """Materialize the live window as a frozen batch graph."""
         graph = TemporalGraph(name=name or f"{self.name}[window]")

@@ -69,6 +69,42 @@ def random_embedded_pattern(rng: random.Random, graph: TemporalGraph, max_edges=
     return TemporalPattern.from_graph(sub.freeze())
 
 
+def make_behavior_model(behavior="chain-abc", labels=("A", "B", "C"), span_cap=10):
+    """A tiny hand-built :class:`BehaviorModel`: one path query over ``labels``.
+
+    Mining-free model construction for the registry / HTTP / hot-reload
+    tests: the single query is the label path ``labels[0] -> labels[1]
+    -> ...`` capped at ``span_cap``.  Bundles save/load deterministically
+    like mined ones, so varying ``behavior``/``labels``/``span_cap``
+    yields registry versions with distinct content digests.
+    """
+    from repro.api.model import BehaviorModel, BehaviorRecord
+    from repro.core.miner import MinedPattern, MinerConfig
+
+    pattern = TemporalPattern(
+        tuple(labels), tuple((i, i + 1) for i in range(len(labels) - 1))
+    )
+    record = BehaviorRecord(
+        behavior=behavior,
+        span_cap=span_cap,
+        patterns=(
+            MinedPattern(pattern=pattern, score=1.0, pos_freq=1.0, neg_freq=0.0),
+        ),
+        co_optimal=1,
+        patterns_explored=1,
+        subgraph_tests=0,
+        index_prefilter_skips=0,
+        elapsed_seconds=0.0,
+        timed_out=False,
+    )
+    return BehaviorModel(
+        config=MinerConfig(),
+        records={behavior: record},
+        labels=tuple(dict.fromkeys(labels)),
+        provenance={"seed": None, "handmade": True},
+    )
+
+
 @pytest.fixture
 def figure3_graph():
     """The paper's Figure 3 G1: multi-edges and T-connected structure."""

@@ -223,7 +223,7 @@ class TestDetect:
         assert (
             main(
                 [
-                    "serve",  # alias for detect
+                    "detect",
                     "--queries",
                     str(queries),
                     "--log",
@@ -483,3 +483,73 @@ class TestExperiment:
     def test_experiment_missing_corpus_errors(self, tmp_path, capsys):
         assert main(["experiment", "--train", str(tmp_path)]) == 2
         assert "missing" in capsys.readouterr().err
+
+
+class TestErrorPaths:
+    """Filesystem failures exit 2 with an error line, never a traceback."""
+
+    def check(self, capsys, argv, fragment):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert fragment in err
+        assert "Traceback" not in err
+        return err
+
+    def test_detect_missing_model_bundle(self, capsys):
+        self.check(
+            capsys,
+            ["detect", "--model", "/nonexistent/x.tgm", "--instances", "3"],
+            "no such model bundle",
+        )
+
+    def test_serve_missing_model_bundle(self, capsys):
+        self.check(
+            capsys,
+            ["serve", "--http", "127.0.0.1:0", "--model", "/nonexistent/x.tgm"],
+            "no such model bundle",
+        )
+
+    def test_serve_unopenable_registry(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("occupied")  # a file where the registry dir must go
+        self.check(
+            capsys,
+            ["serve", "--http", "127.0.0.1:0", "--registry", str(blocker)],
+            "cannot open model registry",
+        )
+
+    def test_serve_malformed_http_address(self, tmp_path, capsys):
+        from conftest import make_behavior_model
+
+        bundle = make_behavior_model().save(tmp_path / "m.tgm")
+        self.check(
+            capsys,
+            ["serve", "--http", "nocolon", "--model", str(bundle)],
+            "HOST:PORT",
+        )
+
+    def test_serve_needs_model_or_registry(self, capsys):
+        self.check(
+            capsys,
+            ["serve", "--http", "127.0.0.1:0"],
+            "--model and/or --registry",
+        )
+
+    def test_serve_empty_registry_without_model(self, tmp_path, capsys):
+        self.check(
+            capsys,
+            ["serve", "--http", "127.0.0.1:0", "--registry", str(tmp_path / "reg")],
+            "empty",
+        )
+
+    def test_pack_unwritable_bundle_path(self, tmp_path, capsys):
+        from conftest import make_behavior_model
+
+        model = make_behavior_model()
+        blocker = tmp_path / "blocker"
+        blocker.write_text("occupied")
+        from repro.core.errors import ArtifactError
+
+        with pytest.raises(ArtifactError, match="cannot write model bundle"):
+            model.save(blocker / "out.tgm")  # parent is a file, not a dir

@@ -1,0 +1,259 @@
+"""Pins for the hot-reload window retention property.
+
+The guarantee: after ``reload`` swaps a new model into a live service,
+detections are **span-identical** to a fresh service that had served the
+new model over the entire log, compared from the same batch boundary.
+The retained sliding window is what makes that possible — matches that
+straddle the reload boundary (old-batch edge + new-batch edge) are still
+found, while warming marks fully-pre-boundary matches as already
+reported so out-of-order reinsertion cannot re-emit them.  A cold
+restart (fresh empty window) provably misses the straddlers.
+
+Timeline used throughout (explicit ``window_span=10``):
+
+== ===== =====================================================
+batch     events
+== ===== =====================================================
+0         t=0 a0>b0, t=1 b0>c0, t=4 a1>b1, t=5 b1>c1
+1         t=7 a2>b2, t=8 x0>y0 (filler)
+-- reload boundary: model A (pair A>B) -> model B (chain A>B>C)
+2         t=9 b2>c2 (straddler!), t=10 a3>b3, t=11 b3>c3
+3         t=3 x1>y1 (out-of-order: forces tail reinsertion)
+== ===== =====================================================
+
+Model B's post-boundary truth: the straddling chain ``(7, 9)`` and the
+fully-post chain ``(10, 11)`` — and nothing from the retained
+pre-boundary chains ``(0, 1)`` / ``(4, 5)``, which batch 3's reinsertion
+re-enumerates and warming must suppress.
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.api import Workspace
+from repro.core.errors import ServingError
+from repro.serving import DetectionFleet
+from repro.syscall.events import SyscallEvent
+
+from conftest import make_behavior_model
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+WINDOW = 10
+BOUNDARY = 2
+
+
+def event(time, src_key, src_label, dst_key, dst_label):
+    return SyscallEvent(
+        time=time,
+        syscall="op",
+        src_key=src_key,
+        src_label=src_label,
+        dst_key=dst_key,
+        dst_label=dst_label,
+    )
+
+
+def timeline():
+    return [
+        [
+            event(0, "a0", "A", "b0", "B"),
+            event(1, "b0", "B", "c0", "C"),
+            event(4, "a1", "A", "b1", "B"),
+            event(5, "b1", "B", "c1", "C"),
+        ],
+        [
+            event(7, "a2", "A", "b2", "B"),
+            event(8, "x0", "X", "y0", "Y"),
+        ],
+        [
+            event(9, "b2", "B", "c2", "C"),
+            event(10, "a3", "A", "b3", "B"),
+            event(11, "b3", "B", "c3", "C"),
+        ],
+        [
+            event(3, "x1", "X", "y1", "Y"),
+        ],
+    ]
+
+
+def model_a():
+    """The pre-reload model: single-edge A>B pairs."""
+    return make_behavior_model(behavior="pair-ab", labels=("A", "B"), span_cap=5)
+
+
+def model_b():
+    """The post-reload model: the A>B>C chain."""
+    return make_behavior_model()
+
+
+class TestWindowRetention:
+    def hot_spans(self):
+        handle = Workspace().serve(model_a(), window_span=WINDOW)
+        batches = timeline()
+        pre = [d.span for b in batches[:BOUNDARY] for d in handle.ingest(b)]
+        handle.reload(model_b(), version=2)
+        post = [d.span for b in batches[BOUNDARY:] for d in handle.ingest(b)]
+        return pre, post
+
+    def reference_spans(self):
+        """Model B served over the whole log; spans from batch >= BOUNDARY."""
+        handle = Workspace().serve(model_b(), window_span=WINDOW)
+        post = []
+        for index, batch in enumerate(timeline()):
+            found = handle.ingest(batch)
+            if index >= BOUNDARY:
+                post.extend(d.span for d in found)
+        return post
+
+    def test_pre_boundary_serves_old_model(self):
+        pre, _post = self.hot_spans()
+        assert sorted(pre) == [(0, 0), (4, 4), (7, 7)]
+
+    def test_hot_reload_matches_full_replay_reference(self):
+        _pre, post = self.hot_spans()
+        assert sorted(post) == sorted(self.reference_spans())
+
+    def test_straddling_match_is_found(self):
+        _pre, post = self.hot_spans()
+        assert (7, 9) in post
+        assert (10, 11) in post
+
+    def test_warming_suppresses_reenumerated_pre_boundary_matches(self):
+        # batch 3's t=3 event reinserts the window tail; without warmed
+        # dedup state the (0,1)/(4,5) chains would be re-emitted
+        _pre, post = self.hot_spans()
+        assert (0, 1) not in post
+        assert (4, 5) not in post
+
+    def test_cold_restart_misses_the_straddler(self):
+        handle = Workspace().serve(model_b(), window_span=WINDOW)
+        post = [d.span for b in timeline()[BOUNDARY:] for d in handle.ingest(b)]
+        assert (7, 9) not in post
+        assert (10, 11) in post
+
+    def test_reloaded_query_wider_than_window_refused(self):
+        handle = Workspace().serve(model_a(), window_span=5)
+        handle.ingest(timeline()[0])
+        with pytest.raises(ServingError, match="wider .*than the service window"):
+            handle.reload(model_b())  # chain span cap 10 > window 5
+        # the refused reload left the old slate serving
+        assert [d.span for d in handle.ingest(timeline()[1])] == [(7, 7)]
+
+
+class TestFleetReload:
+    def test_inline_fleet_reload_keeps_tenant_windows(self):
+        fleet = DetectionFleet(shards=2, window_span=WINDOW)
+        fleet.register_all(model_a().queries())
+        batches = timeline()
+        for batch in batches[:BOUNDARY]:
+            fleet.ingest(batch)
+        fleet.reload(model_b().queries())
+        post = [d.span for b in batches[BOUNDARY:] for d in fleet.ingest(b)]
+        assert (7, 9) in post  # tenant windows survived the swap
+        assert (10, 11) in post
+        fleet.close()
+
+    def test_process_fleet_reload_refused(self):
+        fleet = DetectionFleet(shards=1, runner="process", window_span=WINDOW)
+        fleet.register_all(model_a().queries())
+        with pytest.raises(ServingError, match="inline fleets"):
+            fleet.reload(model_b().queries())
+        fleet.close()
+
+
+class TestSubprocessEquivalence:
+    """Satellite pin: the retention property holds across real processes.
+
+    Saves both bundles and the event log to disk, then replays the
+    timeline in fresh interpreters: once hot-reloading mid-stream, once
+    cold with the new model over the full log, once cold-restarting at
+    the boundary.  Hot and cold-full must print identical span JSON.
+    """
+
+    RUNNER = textwrap.dedent(
+        """\
+        import json, sys
+
+        sys.path.insert(0, sys.argv[1])
+        from repro import BehaviorModel, Workspace
+        from repro.datasets.io import load_events_jsonl
+
+        mode, bundle_a, bundle_b = sys.argv[2], sys.argv[3], sys.argv[4]
+        boundary, window = int(sys.argv[5]), int(sys.argv[6])
+        batches = [load_events_jsonl(path) for path in sys.argv[7:]]
+
+        post = []
+        if mode == "hot":
+            handle = Workspace().serve(BehaviorModel.load(bundle_a), window_span=window)
+            for batch in batches[:boundary]:
+                handle.ingest(batch)
+            handle.reload(BehaviorModel.load(bundle_b), version=2)
+            for batch in batches[boundary:]:
+                post.extend(d.span for d in handle.ingest(batch))
+        elif mode == "cold-full":
+            handle = Workspace().serve(BehaviorModel.load(bundle_b), window_span=window)
+            for index, batch in enumerate(batches):
+                found = handle.ingest(batch)
+                if index >= boundary:
+                    post.extend(d.span for d in found)
+        elif mode == "cold-restart":
+            handle = Workspace().serve(BehaviorModel.load(bundle_b), window_span=window)
+            for batch in batches[boundary:]:
+                post.extend(d.span for d in handle.ingest(batch))
+        else:
+            raise SystemExit(f"unknown mode {mode!r}")
+        print(json.dumps(sorted(list(span) for span in post)))
+        """
+    )
+
+    @pytest.fixture
+    def artifacts(self, tmp_path):
+        from repro.datasets.io import save_events_jsonl
+
+        runner = tmp_path / "runner.py"
+        runner.write_text(self.RUNNER)
+        bundle_a = model_a().save(tmp_path / "a.tgm")
+        bundle_b = model_b().save(tmp_path / "b.tgm")
+        batch_paths = []
+        for index, batch in enumerate(timeline()):
+            path = tmp_path / f"batch{index}.jsonl"
+            save_events_jsonl(batch, path)
+            batch_paths.append(path)
+        return runner, bundle_a, bundle_b, batch_paths
+
+    def run_mode(self, artifacts, mode):
+        runner, bundle_a, bundle_b, batch_paths = artifacts
+        out = subprocess.run(
+            [
+                sys.executable,
+                str(runner),
+                SRC,
+                mode,
+                str(bundle_a),
+                str(bundle_b),
+                str(BOUNDARY),
+                str(WINDOW),
+                *map(str, batch_paths),
+            ],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return json.loads(out.stdout)
+
+    def test_hot_reload_identical_to_cold_restart_at_same_boundary(self, artifacts):
+        hot = self.run_mode(artifacts, "hot")
+        reference = self.run_mode(artifacts, "cold-full")
+        assert hot == reference
+        assert [7, 9] in hot and [10, 11] in hot
+
+    def test_actually_cold_restart_is_not_equivalent(self, artifacts):
+        cold = self.run_mode(artifacts, "cold-restart")
+        assert [7, 9] not in cold
+        assert [10, 11] in cold

@@ -1,0 +1,211 @@
+"""Tests for the versioned on-disk model registry.
+
+The registry contract: content-hashed idempotent publishes, an atomic
+manifest every instance (and process) reads fresh, digest-verified
+loads, and the candidate -> active -> retired promotion state machine
+(including rollback).  All invalid registry state surfaces as
+:class:`RegistryError`.
+"""
+
+import json
+
+import pytest
+
+from repro.api import BehaviorModel, ModelRegistry, RegistryError
+from repro.serving.model_registry import (
+    REGISTRY_SCHEMA_VERSION,
+    STATE_ACTIVE,
+    STATE_CANDIDATE,
+    STATE_RETIRED,
+    RegistryEntry,
+)
+
+from conftest import make_behavior_model
+
+
+@pytest.fixture
+def model():
+    return make_behavior_model()
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "registry")
+
+
+class TestOpen:
+    def test_open_creates_layout(self, tmp_path):
+        root = tmp_path / "fresh"
+        registry = ModelRegistry(root)
+        assert (root / "registry.json").is_file()
+        assert (root / "models").is_dir()
+        assert registry.entries() == []
+        assert registry.active_version is None
+        assert registry.latest_version is None
+
+    def test_open_over_file_raises_registry_error(self, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupied")
+        with pytest.raises(RegistryError, match="cannot open model registry"):
+            ModelRegistry(blocker)
+
+    def test_unknown_version_raises(self, registry):
+        with pytest.raises(RegistryError, match="no version 3"):
+            registry.entry(3)
+
+
+class TestPublish:
+    def test_first_publish_auto_activates(self, registry, model):
+        entry = registry.publish(model)
+        assert entry.version == 1
+        assert entry.state == STATE_ACTIVE
+        assert registry.active_version == 1
+        assert registry.latest_version == 1
+        assert entry.behaviors == ("chain-abc",)
+        assert entry.queries == 1
+        assert (registry.root / "models" / entry.filename).is_file()
+        assert entry.filename.startswith("v0001-")
+
+    def test_identical_bytes_dedup_to_same_version(self, registry, model):
+        first = registry.publish(model)
+        again = registry.publish(model)
+        assert again.version == first.version
+        assert again.digest == first.digest
+        assert len(registry.entries()) == 1
+
+    def test_different_content_mints_new_candidate(self, registry, model):
+        registry.publish(model)
+        entry = registry.publish(make_behavior_model(span_cap=20))
+        assert entry.version == 2
+        assert entry.state == STATE_CANDIDATE
+        assert registry.active_version == 1
+        assert registry.latest_version == 2
+
+    def test_publish_accepts_bundle_path(self, registry, model, tmp_path):
+        bundle = model.save(tmp_path / "m.tgm")
+        entry = registry.publish(bundle)
+        assert entry.version == 1
+        assert registry.publish(model).version == 1  # same bytes, same entry
+
+    def test_publish_visible_to_other_instances(self, registry, model):
+        registry.publish(model)
+        other = ModelRegistry(registry.root)
+        assert other.latest_version == 1
+        assert other.active_version == 1
+
+
+class TestLoad:
+    def test_load_round_trips_model(self, registry, model):
+        registry.publish(model)
+        loaded = registry.load(1)
+        assert isinstance(loaded, BehaviorModel)
+        assert loaded.behaviors == model.behaviors
+        assert [q.name for q in loaded.queries()] == ["chain-abc#1"]
+
+    def test_load_detects_corrupt_bundle(self, registry, model):
+        entry = registry.publish(model)
+        bundle = registry.root / "models" / entry.filename
+        bundle.write_bytes(b"\x00" * 64)
+        with pytest.raises(RegistryError, match="corrupt"):
+            registry.load(1)
+
+    def test_load_missing_bundle_file(self, registry, model):
+        entry = registry.publish(model)
+        (registry.root / "models" / entry.filename).unlink()
+        with pytest.raises(RegistryError, match="unreadable"):
+            registry.load(1)
+
+    def test_path_for(self, registry, model):
+        entry = registry.publish(model)
+        assert registry.path_for(1).name == entry.filename
+
+
+class TestPromote:
+    def publish_two(self, registry, model):
+        registry.publish(model)
+        registry.publish(make_behavior_model(span_cap=20))
+
+    def test_promote_activates_and_retires(self, registry, model):
+        self.publish_two(registry, model)
+        entry = registry.promote(2)
+        assert entry.state == STATE_ACTIVE
+        assert registry.active_version == 2
+        assert registry.entry(1).state == STATE_RETIRED
+
+    def test_promote_retired_is_rollback(self, registry, model):
+        self.publish_two(registry, model)
+        registry.promote(2)
+        rolled = registry.promote(1)
+        assert rolled.state == STATE_ACTIVE
+        assert registry.active_version == 1
+        assert registry.entry(2).state == STATE_RETIRED
+
+    def test_promote_active_is_noop(self, registry, model):
+        registry.publish(model)
+        entry = registry.promote(1)
+        assert entry.state == STATE_ACTIVE
+        assert registry.active_version == 1
+
+    def test_promote_unknown_raises(self, registry, model):
+        registry.publish(model)
+        with pytest.raises(RegistryError, match="cannot promote unknown version 9"):
+            registry.promote(9)
+
+    def test_at_most_one_active(self, registry, model):
+        self.publish_two(registry, model)
+        registry.publish(make_behavior_model(span_cap=30))
+        registry.promote(2)
+        registry.promote(3)
+        states = [entry.state for entry in registry.entries()]
+        assert states.count(STATE_ACTIVE) == 1
+        assert registry.active_version == 3
+
+
+class TestManifestValidation:
+    def test_corrupt_manifest_raises(self, registry):
+        (registry.root / "registry.json").write_text("{not json")
+        with pytest.raises(RegistryError, match="corrupt registry manifest"):
+            registry.entries()
+
+    def test_wrong_format_tag_raises(self, registry):
+        (registry.root / "registry.json").write_text(json.dumps({"format": "other"}))
+        with pytest.raises(RegistryError, match="not a model-registry manifest"):
+            registry.entries()
+
+    def test_newer_schema_rejected(self, registry):
+        manifest = json.loads((registry.root / "registry.json").read_text())
+        manifest["schema_version"] = REGISTRY_SCHEMA_VERSION + 1
+        (registry.root / "registry.json").write_text(json.dumps(manifest))
+        with pytest.raises(RegistryError, match="newer than this library"):
+            registry.entries()
+
+    def test_malformed_entry_raises(self, registry, model):
+        registry.publish(model)
+        manifest = json.loads((registry.root / "registry.json").read_text())
+        del manifest["entries"][0]["digest"]
+        (registry.root / "registry.json").write_text(json.dumps(manifest))
+        with pytest.raises(RegistryError, match="malformed registry entry"):
+            registry.entries()
+
+    def test_unknown_state_raises(self, registry, model):
+        registry.publish(model)
+        manifest = json.loads((registry.root / "registry.json").read_text())
+        manifest["entries"][0]["state"] = "limbo"
+        (registry.root / "registry.json").write_text(json.dumps(manifest))
+        with pytest.raises(RegistryError, match="unknown state 'limbo'"):
+            registry.entries()
+
+
+class TestEntrySerialization:
+    def test_entry_round_trips_as_dict(self, registry, model):
+        entry = registry.publish(model)
+        assert RegistryEntry.from_dict(entry.as_dict()) == entry
+
+    def test_describe_lists_versions(self, registry, model):
+        assert "empty" in registry.describe()
+        registry.publish(model)
+        registry.publish(make_behavior_model(span_cap=20))
+        text = registry.describe()
+        assert "2 version(s)" in text
+        assert "v1" in text and "v2" in text
+        assert "active" in text and "candidate" in text
