@@ -99,6 +99,14 @@ FLEET_QUEUE_DEPTH = int(os.environ.get("BENCH_FLEET_QUEUE_DEPTH", 8))
 #: shard — only enforced with enough CPUs and >= 32 tenants (below that
 #: the sweep measures routing overhead, not parallelism).
 MIN_FLEET_SPEEDUP = float(os.environ.get("BENCH_MIN_FLEET_SPEEDUP", 1.5))
+#: Snapshot cadence (batches) for the recovery benchmark's durable run.
+RECOVERY_CHECKPOINT_EVERY = int(os.environ.get("BENCH_RECOVERY_CHECKPOINT_EVERY", 32))
+#: Measurement repeats for the recovery benchmark (best-of-N per mode).
+RECOVERY_REPEATS = int(os.environ.get("BENCH_RECOVERY_REPEATS", 3))
+#: Ceiling on WAL+snapshot overhead as a fraction of plain ingest wall
+#: time (0.10 = 10%) — only enforced when the plain run is long enough
+#: to measure the ratio meaningfully (0 disables the ceiling).
+MAX_CHECKPOINT_OVERHEAD = float(os.environ.get("BENCH_MAX_CHECKPOINT_OVERHEAD", 0.10))
 #: Where BENCH_*.json result files land (CI uploads them as artifacts).
 JSON_DIR = Path(os.environ.get("BENCH_JSON_DIR", "."))
 

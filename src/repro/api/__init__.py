@@ -32,7 +32,15 @@ from repro.api.model import (
     BehaviorRecord,
 )
 from repro.api.workspace import BehaviorEvaluation, EvaluationReport, Workspace
-from repro.core.errors import ArtifactError, HttpError, RegistryError
+from repro.core.errors import (
+    ArtifactError,
+    CheckpointError,
+    HttpError,
+    RegistryError,
+    ShardTimeoutError,
+)
+from repro.core.faults import FaultPlan, FaultSpec
+from repro.serving.checkpoint import CheckpointedService, recover_service
 from repro.serving.contracts import (
     STATS_SCHEMA_KEYS,
     STATS_SCHEMA_VERSION,
@@ -50,8 +58,12 @@ __all__ = [
     "BehaviorEvaluation",
     "BehaviorModel",
     "BehaviorRecord",
+    "CheckpointError",
+    "CheckpointedService",
     "DetectionServer",
     "EvaluationReport",
+    "FaultPlan",
+    "FaultSpec",
     "HttpError",
     "HttpServingHandle",
     "Ingestor",
@@ -62,8 +74,10 @@ __all__ = [
     "STATS_SCHEMA_KEYS",
     "STATS_SCHEMA_VERSION",
     "ServingHandle",
+    "ShardTimeoutError",
     "StatsView",
     "Workspace",
+    "recover_service",
     "serve_http",
     "stats_from_dict",
 ]

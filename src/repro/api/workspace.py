@@ -45,6 +45,7 @@ from repro.experiments.harness import (
 from repro.query.engine import QueryEngine
 from repro.query.evaluation import PrecisionRecall, evaluate_spans, pool_spans
 from repro.serving import DetectionFleet, Ingestor, ServingHandle
+from repro.serving.checkpoint import DEFAULT_CHECKPOINT_EVERY, CheckpointedService
 from repro.serving.http import HttpServingHandle, serve_http
 from repro.serving.model_registry import ModelRegistry, RegistryEntry
 from repro.serving.service import DetectionService
@@ -282,6 +283,8 @@ class Workspace:
         shards: int | None = None,
         registry: ModelRegistry | str | Path | None = None,
         version: int | None = None,
+        checkpoint_dir: str | Path | None = None,
+        checkpoint_every: int | None = None,
         **fleet_options,
     ) -> ServingHandle:
         """Build a streaming deployment with the model's queries registered.
@@ -300,17 +303,33 @@ class Workspace:
         ``close()``, context-manager use, and the :class:`ModelRegistry`
         it serves from when ``registry`` is given.
 
+        With ``checkpoint_dir`` set the deployment is durable: every
+        batch is WAL-logged before it is applied and a snapshot is cut
+        every ``checkpoint_every`` batches (see
+        :mod:`repro.serving.checkpoint`).  Pointing a fresh ``serve()``
+        at a directory holding state from an earlier run **resumes** it —
+        the retained window, seen-span dedup, and stats are restored and
+        detections continue span-identically to a process that never
+        died.  The model's slate is hot-reloaded over the recovered one
+        if it differs.
+
         A model mined (or loaded) in this process serves exactly the
         queries the bundle describes, so detections in a fresh serving
         process are span-identical to the mining process's batch
         :meth:`query` over the same log.
         """
+        every = (
+            DEFAULT_CHECKPOINT_EVERY if checkpoint_every is None
+            else checkpoint_every
+        )
         ingestor: Ingestor
         if shards is not None:
             ingestor = DetectionFleet(
                 shards=shards,
                 window_span=window_span,
                 use_prefilter=use_prefilter,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every=every,
                 **fleet_options,
             )
         else:
@@ -319,6 +338,18 @@ class Workspace:
                 raise TypeError(
                     f"serve() options only valid with shards=: {unexpected}"
                 )
+            if checkpoint_dir is not None:
+                ingestor = self._serve_durable(
+                    model, checkpoint_dir, every,
+                    window_span=window_span,
+                    behaviors=behaviors,
+                    use_prefilter=use_prefilter,
+                )
+                if registry is not None and not isinstance(registry, ModelRegistry):
+                    registry = ModelRegistry(registry)
+                return ServingHandle(
+                    ingestor, model=model, registry=registry, version=version
+                )
             ingestor = DetectionService(
                 window_span=window_span, use_prefilter=use_prefilter
             )
@@ -326,6 +357,48 @@ class Workspace:
         if registry is not None and not isinstance(registry, ModelRegistry):
             registry = ModelRegistry(registry)
         return ServingHandle(ingestor, model=model, registry=registry, version=version)
+
+    @staticmethod
+    def _serve_durable(
+        model: BehaviorModel,
+        checkpoint_dir: str | Path,
+        checkpoint_every: int,
+        *,
+        window_span: int | None,
+        behaviors: Sequence[str] | None,
+        use_prefilter: bool,
+    ) -> CheckpointedService:
+        """Build (or resume) a durable single-service deployment."""
+        from repro.serving.checkpoint import CheckpointStore
+        from repro.serving.registry import query_to_dict
+
+        slate = model.queries(behaviors)
+        probe = CheckpointStore(checkpoint_dir)
+        if probe.fresh:
+            service = DetectionService(
+                window_span=window_span, use_prefilter=use_prefilter
+            )
+            service.register_all(slate)
+            return CheckpointedService(
+                service, checkpoint_dir,
+                checkpoint_every=checkpoint_every, store=probe,
+            )
+        probe.close()
+        wrapper, _ = CheckpointedService.recover(
+            checkpoint_dir,
+            window_span=window_span,
+            use_prefilter=use_prefilter,
+            checkpoint_every=checkpoint_every,
+        )
+        # resume serves the *given* model: hot-reload over the recovered
+        # slate when they differ (window retention keeps detections
+        # span-identical to a deployment that reloaded while alive)
+        recovered_slate = [
+            query_to_dict(q) for _, q in wrapper.service.registry
+        ]
+        if [query_to_dict(q) for q in slate] != recovered_slate:
+            wrapper.reload(slate)
+        return wrapper
 
     def serve_fleet(
         self,
@@ -369,6 +442,8 @@ class Workspace:
         use_prefilter: bool = True,
         version: int | None = None,
         canary_batches: int | None = None,
+        checkpoint_dir: str | Path | None = None,
+        checkpoint_every: int | None = None,
     ) -> HttpServingHandle:
         """Put a model behind the HTTP serving tier (see ``serving/http.py``).
 
@@ -377,7 +452,10 @@ class Workspace:
         With ``registry`` given, the ``/v1/models`` endpoints manage
         versioned bundles, run canaries, and promote — promotion
         hot-reloads the live deployment without dropping its window.
-        The returned handle is not serving until
+        With ``checkpoint_dir`` the deployment is durable and resumes
+        from the directory on restart (see :meth:`serve`); a graceful
+        HTTP shutdown drains in-flight batches and cuts a final
+        snapshot.  The returned handle is not serving until
         ``start_background()``/``serve_forever()``.
         """
         handle = self.serve(
@@ -387,6 +465,8 @@ class Workspace:
             use_prefilter=use_prefilter,
             registry=registry,
             version=version,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
         )
         options = {} if canary_batches is None else {"canary_batches": canary_batches}
         return serve_http(

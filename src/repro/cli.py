@@ -48,6 +48,7 @@ from repro.core.errors import ReproError
 from repro.core.miner import MinerConfig, miner_variant
 from repro.core.parallel import default_workers
 from repro.datasets.io import load_events_jsonl, save_events_jsonl
+from repro.serving.checkpoint import DEFAULT_CHECKPOINT_EVERY, CheckpointedService
 from repro.serving.fleet import (
     DEFAULT_QUEUE_DEPTH,
     TENANT_SEPARATOR,
@@ -256,6 +257,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="bounded per-shard input queue for --runner process "
         f"(default {DEFAULT_QUEUE_DEPTH})",
     )
+    det.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="make the deployment durable: WAL every batch and snapshot "
+        "under DIR (per shard/tenant with --shards); rerunning against "
+        "the same DIR resumes the previous window",
+    )
+    det.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="BATCHES",
+        help="batches between snapshot cuts with --checkpoint-dir "
+        f"(default {DEFAULT_CHECKPOINT_EVERY})",
+    )
     det.add_argument("--json", dest="json_out", default=None, help="write summary JSON")
     det.add_argument(
         "--profile",
@@ -309,6 +326,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=True,
         help="use the registry's shared signature prefilter "
         "(--no-index disables; detections are identical either way)",
+    )
+    srv.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="durable serving: WAL every ingest and snapshot under DIR; "
+        "restarting the server against the same DIR resumes the live "
+        "window, and a graceful shutdown cuts a final snapshot",
+    )
+    srv.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="BATCHES",
+        help="batches between snapshot cuts with --checkpoint-dir "
+        f"(default {DEFAULT_CHECKPOINT_EVERY})",
     )
 
     pack = sub.add_parser(
@@ -461,6 +494,14 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             print(f"error: no queries in {queries_path}", file=sys.stderr)
             return 2
 
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        print("error: --checkpoint-every must be >= 1", file=sys.stderr)
+        return 2
+    every = (
+        DEFAULT_CHECKPOINT_EVERY
+        if args.checkpoint_every is None
+        else args.checkpoint_every
+    )
     fleet_mode = args.shards is not None or args.tenants is not None
     if fleet_mode:
         shards = args.shards if args.shards is not None else 1
@@ -474,10 +515,39 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             use_prefilter=args.index,
             runner=args.runner,
             queue_depth=args.queue_depth,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=every,
         )
+        ingestor.register_all(queries)
+    elif args.checkpoint_dir is not None:
+        from repro.serving.checkpoint import CheckpointStore
+
+        store = CheckpointStore(args.checkpoint_dir)
+        if store.fresh:
+            service = DetectionService(
+                window_span=args.window, use_prefilter=args.index
+            )
+            service.register_all(queries)
+            ingestor = CheckpointedService(
+                service, args.checkpoint_dir, checkpoint_every=every, store=store
+            )
+        else:
+            store.close()
+            ingestor, recovered = CheckpointedService.recover(
+                args.checkpoint_dir,
+                window_span=args.window,
+                use_prefilter=args.index,
+                checkpoint_every=every,
+            )
+            ingestor.reload(queries)
+            print(
+                f"recovered checkpoint generation {recovered.generation} "
+                f"(+{recovered.recovered_events} WAL events replayed) from "
+                f"{args.checkpoint_dir}"
+            )
     else:
         ingestor = DetectionService(window_span=args.window, use_prefilter=args.index)
-    ingestor.register_all(queries)
+        ingestor.register_all(queries)
 
     if args.log:
         log_path = Path(args.log)
@@ -594,6 +664,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         window_span=args.window,
         use_prefilter=args.index,
         version=version,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
         **options,
     )
     bound_host, bound_port = server.address

@@ -42,6 +42,33 @@ class ServingError(ReproError):
     (an eviction window shorter than a registered query's span cap)."""
 
 
+class CheckpointError(ReproError):
+    """Raised by :mod:`repro.serving.checkpoint` for unrecoverable durability
+    failures: a checkpoint directory that cannot be created or written, or a
+    recovery attempt where every snapshot generation *and* the genesis WAL
+    are corrupt.  Torn WAL tails and single corrupt snapshots are expected
+    crash artifacts and are handled silently by falling back a generation;
+    this error means there is nothing left to fall back to."""
+
+
+class ShardTimeoutError(ServingError):
+    """Raised when a :class:`~repro.serving.fleet.DetectionFleet` shard
+    stops producing results within ``result_timeout`` seconds and cannot be
+    restarted (or supervision is disabled).
+
+    Carries enough context for structured reporting instead of a raw
+    traceback: the stalled ``shard`` id (``None`` when unknown) and
+    ``last_acked_seq``, the highest submit sequence number the fleet had
+    collected a result for when it gave up.
+    """
+
+    def __init__(self, message: str, *, shard: int | None = None,
+                 last_acked_seq: int | None = None) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.last_acked_seq = last_acked_seq
+
+
 class DatasetError(ReproError):
     """Raised by dataset builders, loaders, and the syscall simulator."""
 
@@ -67,8 +94,13 @@ class HttpError(ReproError):
     route or version -> 404, malformed payload -> 400, canary/promotion
     conflicts -> 409).  The HTTP handler turns any :class:`ReproError`
     into a JSON error response; this subclass just pins the status.
+
+    ``retry_after`` (seconds) is set on overload responses (429) and is
+    emitted as a ``Retry-After`` header by the HTTP handler.
     """
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(self, status: int, message: str,
+                 retry_after: float | None = None) -> None:
         super().__init__(message)
         self.status = int(status)
+        self.retry_after = retry_after

@@ -1,0 +1,203 @@
+"""Deterministic fault injection for the serving tier.
+
+Crash-recovery code is only trustworthy if every failure path can be
+exercised on demand, in-process, with a reproducible trigger point.  This
+module provides that trigger: a :class:`FaultPlan` is a picklable bag of
+:class:`FaultSpec` rules, each naming an injection *site* (a string like
+``"worker.kill"``), an ordinal *at* which the site fires, and optional
+scoping (shard, tenant, worker incarnation).  Production code calls
+:meth:`FaultPlan.fire` (or :meth:`FaultPlan.check`) at well-defined hook
+points; with no plan installed the hooks are no-ops.
+
+Sites used by the serving tier:
+
+``worker.kill``
+    Hard-kill the spawn worker process (``os._exit(137)``) just before it
+    would reply to the *at*-th batch — simulates ``kill -9`` / OOM.
+``worker.stall``
+    Sleep ``delay`` seconds before replying to the *at*-th batch —
+    simulates a wedged queue consumer so timeout/supervision paths fire.
+``service.slow_batch``
+    Sleep ``delay`` seconds inside :meth:`DetectionService.ingest`.
+``service.poison``
+    Raise :class:`~repro.core.errors.ServingError` from inside ingest for
+    the *at*-th batch — a poisoned batch that should quarantine the tenant
+    rather than kill the shard.
+``wal.torn``
+    Truncate the write-ahead log mid-record while appending the *at*-th
+    record, then crash (raise) — simulates power loss during a write.
+``snapshot.corrupt``
+    Flip bytes in the snapshot file just after it is atomically published —
+    simulates on-disk corruption that recovery must detect and skip.
+
+Counters are per (site, shard, tenant) key and advance on every ``fire``
+call, so "fire at the 3rd WAL append" is deterministic regardless of wall
+clock.  ``incarnation`` scopes a rule to a specific respawn generation of
+a shard worker (0 = the first process); respawned workers receive the
+plan re-scoped to their own generation, which prevents a ``worker.kill``
+or ``wal.torn`` rule from re-firing forever in each restarted worker.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from .errors import ReproError
+
+__all__ = ["FaultSpec", "FaultPlan", "FaultInjected", "KNOWN_SITES"]
+
+KNOWN_SITES = (
+    "worker.kill",
+    "worker.stall",
+    "service.slow_batch",
+    "service.poison",
+    "wal.torn",
+    "snapshot.corrupt",
+)
+
+
+class FaultInjected(ReproError):
+    """Raised by fault hooks whose site semantics are "crash here"."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault rule.
+
+    ``site``
+        Injection point name (see module docstring / :data:`KNOWN_SITES`).
+    ``at``
+        1-based ordinal of the hook invocation (within this spec's scope)
+        at which the fault first fires.
+    ``shard`` / ``tenant``
+        Restrict the rule to one shard id / tenant key (``None`` = any).
+    ``times``
+        How many consecutive firings starting at ``at`` (default 1).
+    ``delay``
+        Sleep duration for stall/slow sites, seconds.
+    ``incarnation``
+        Only fire in the given respawn generation of the shard worker
+        process (0 = original worker, 1 = first restart, ...).  Plans
+        used outside a supervised worker are never re-scoped, so the
+        default of 0 fires everywhere there.
+    """
+
+    site: str
+    at: int = 1
+    shard: int | None = None
+    tenant: str | None = None
+    times: int = 1
+    delay: float = 0.0
+    incarnation: int = 0
+
+    def __post_init__(self) -> None:
+        if self.site not in KNOWN_SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; known: {KNOWN_SITES}")
+        if self.at < 1:
+            raise ValueError("fault 'at' ordinal is 1-based and must be >= 1")
+        if self.times < 1:
+            raise ValueError("fault 'times' must be >= 1")
+
+
+@dataclass
+class FaultPlan:
+    """A picklable, deterministic collection of fault rules.
+
+    The plan keeps one invocation counter per ``(site, shard, tenant)``
+    scope key; :meth:`fire` bumps the counter and returns the matching
+    spec when a rule covers that ordinal.  Plans cross process boundaries
+    by pickling (counters reset in the child, which is what we want: the
+    child worker counts its own batches from 1).
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    _counters: dict[tuple[str, int | None, str | None], int] = field(
+        default_factory=dict, repr=False, compare=False)
+
+    def __init__(self, specs: "tuple[FaultSpec, ...] | list[FaultSpec]" = ()):
+        object.__setattr__(self, "specs", tuple(specs))
+        object.__setattr__(self, "_counters", {})
+
+    def __getstate__(self) -> dict:
+        # Counters are per-process scratch state: a freshly unpickled plan
+        # (e.g. shipped to a respawned worker) starts counting from zero.
+        return {"specs": self.specs}
+
+    def __setstate__(self, state: dict) -> None:
+        object.__setattr__(self, "specs", state["specs"])
+        object.__setattr__(self, "_counters", {})
+
+    def scoped(self, *, incarnation: int) -> "FaultPlan":
+        """Plan containing only rules for the given worker incarnation.
+
+        Applied when (re)spawning a shard worker: a respawned process
+        starts its counters over, so without this filter a ``worker.kill``
+        (or ``wal.torn``, ...) rule for the original worker would re-fire
+        in every restart and burn the whole restart budget by design.
+        """
+        keep = [s for s in self.specs if s.incarnation == incarnation]
+        return FaultPlan(keep)
+
+    def fire(self, site: str, *, shard: int | None = None,
+             tenant: str | None = None) -> FaultSpec | None:
+        """Advance the counter for ``site`` in this scope; return the spec
+        that covers the new ordinal, or ``None``.
+
+        Specs with a ``shard``/``tenant`` restriction only match (and only
+        consume ordinals from) the matching scope's counter, so "kill shard
+        1 at its 3rd batch" is unaffected by traffic on other shards.
+        """
+        hit: FaultSpec | None = None
+        for spec in self.specs:
+            if spec.site != site:
+                continue
+            if spec.shard is not None and spec.shard != shard:
+                continue
+            if spec.tenant is not None and spec.tenant != tenant:
+                continue
+            key = (site, spec.shard, spec.tenant)
+            count = self._counters.get(key, 0) + 1
+            self._counters[key] = count
+            if spec.at <= count < spec.at + spec.times and hit is None:
+                hit = spec
+        return hit
+
+    # -- convenience wrappers used at the hook sites -------------------
+
+    def maybe_sleep(self, site: str, *, shard: int | None = None,
+                    tenant: str | None = None) -> bool:
+        spec = self.fire(site, shard=shard, tenant=tenant)
+        if spec is None:
+            return False
+        if spec.delay > 0:
+            time.sleep(spec.delay)
+        return True
+
+    def maybe_exit(self, site: str, *, shard: int | None = None,
+                   tenant: str | None = None, code: int = 137,
+                   flush=None) -> None:
+        if self.fire(site, shard=shard, tenant=tenant) is not None:
+            # os._exit skips atexit/finally so the queue feeder dies with
+            # us — the closest in-process stand-in for SIGKILL.  ``flush``
+            # (when given) runs first: dying mid-write inside a
+            # multiprocessing queue would wedge the *channel*, which is a
+            # simulation artifact — the site under test is the process.
+            if flush is not None:
+                flush()
+            os._exit(code)
+
+    def maybe_raise(self, site: str, message: str, *,
+                    shard: int | None = None,
+                    tenant: str | None = None) -> None:
+        if self.fire(site, shard=shard, tenant=tenant) is not None:
+            raise FaultInjected(f"injected fault at {site}: {message}")
+
+
+def fire(plan: FaultPlan | None, site: str, **scope) -> FaultSpec | None:
+    """Null-safe hook helper: ``fire(None, ...)`` is a no-op."""
+    if plan is None:
+        return None
+    return plan.fire(site, **scope)

@@ -39,6 +39,13 @@ benchmarks are written against it, so swapping a one-host service for a
 sharded fleet is a constructor change, not a rewrite.
 """
 
+from repro.serving.checkpoint import (
+    DEFAULT_CHECKPOINT_EVERY,
+    CheckpointedService,
+    CheckpointStore,
+    RecoveredService,
+    recover_service,
+)
 from repro.serving.contracts import (
     STATS_SCHEMA_KEYS,
     STATS_SCHEMA_VERSION,
@@ -79,6 +86,9 @@ from repro.serving.streaming import IngestDelta, StreamingGraph, StreamStats
 
 __all__ = [
     "BehaviorQuery",
+    "CheckpointStore",
+    "CheckpointedService",
+    "DEFAULT_CHECKPOINT_EVERY",
     "DEFAULT_TENANT",
     "Detection",
     "DetectionFleet",
@@ -92,6 +102,7 @@ __all__ = [
     "LatencyReservoir",
     "ModelRegistry",
     "QueryRegistry",
+    "RecoveredService",
     "RegistryEntry",
     "STATS_SCHEMA_KEYS",
     "STATS_SCHEMA_VERSION",
@@ -105,6 +116,7 @@ __all__ = [
     "interleave_streams",
     "load_queries_jsonl",
     "merged_latency_percentile",
+    "recover_service",
     "save_queries_jsonl",
     "serve_http",
     "shard_for_tenant",

@@ -268,6 +268,24 @@ class ServingHandle:
         if start is not None:
             start()
 
+    def health(self) -> dict:
+        """Liveness/degradation rollup from the underlying deployment.
+
+        Fault-tolerant ingestors (fleets, checkpointed services) report
+        restart/quarantine/recovery state; plain services are simply
+        ``ok`` while open.
+        """
+        probe = getattr(self.ingestor, "health", None)
+        if probe is not None:
+            return probe()
+        return {"status": "ok"}
+
+    def checkpoint(self) -> None:
+        """Cut a durable snapshot now (no-op for non-durable deployments)."""
+        cut = getattr(self.ingestor, "checkpoint", None)
+        if cut is not None:
+            cut()
+
     def reload(self, model: "BehaviorModel", version: int | None = None) -> None:
         """Hot-swap ``model``'s queries in without dropping the window.
 

@@ -34,6 +34,15 @@ and the other does not — accumulate in the canary report, and
 ``force=true``.  A byte-identical repack of the serving model therefore
 always passes; a perturbed model is flagged.
 
+**Overload and shutdown.**  Ingest admission is bounded: past
+``max_inflight`` concurrent requests the server sheds with ``429`` (+
+``Retry-After``) instead of queueing without limit, and ``healthz``
+degrades to reflect a supervised fleet's restarts or quarantined
+tenants.  Shutdown *drains*: new ingests get ``503`` (+ ``Retry-After``)
+while in-flight batches finish under the ingest lock, then a final
+checkpoint is cut for durable deployments — a restart resumes the
+window span-identically (see :mod:`repro.serving.checkpoint`).
+
 Threading model: ``ThreadingHTTPServer`` handles each request on its own
 daemon thread; one :class:`threading.RLock` serializes every mutation
 (ingest, canary stepping, publish, promote/reload), so the detection
@@ -74,6 +83,8 @@ __all__ = [
     "serve_http",
     "DEFAULT_CANARY_BATCHES",
     "DEFAULT_DETECTIONS_CAPACITY",
+    "DEFAULT_MAX_INFLIGHT",
+    "DEFAULT_RETRY_AFTER",
 ]
 
 #: Live batches a canary observes before it is complete, by default.
@@ -81,6 +92,13 @@ DEFAULT_CANARY_BATCHES = 8
 
 #: Ring-buffer capacity of ``GET /v1/detections``.
 DEFAULT_DETECTIONS_CAPACITY = 1024
+
+#: Ingest requests admitted (executing + queued on the ingest lock)
+#: before the server sheds load with 429.
+DEFAULT_MAX_INFLIGHT = 32
+
+#: Seconds clients are told to back off via ``Retry-After`` on 429/503.
+DEFAULT_RETRY_AFTER = 1.0
 
 #: Reject request bodies beyond this size (64 MiB) outright.
 _MAX_BODY_BYTES = 64 * 1024 * 1024
@@ -187,13 +205,26 @@ class DetectionServer:
         registry: ModelRegistry | None = None,
         detections_capacity: int = DEFAULT_DETECTIONS_CAPACITY,
         canary_batches: int = DEFAULT_CANARY_BATCHES,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        retry_after: float = DEFAULT_RETRY_AFTER,
     ) -> None:
+        if max_inflight < 1:
+            raise ServingError("max_inflight must be >= 1")
         self.handle = handle
         self.registry = registry
         self.canary_batches = canary_batches
+        self.max_inflight = max_inflight
+        self.retry_after = retry_after
         self._lock = threading.RLock()
         self._recent: deque[dict] = deque(maxlen=detections_capacity)
         self._canary: _CanaryRun | None = None
+        # admission control: the pipeline behind _lock is single-threaded,
+        # so "inflight" = ingest requests executing or queued on the lock;
+        # _gate guards the counter without touching the pipeline lock
+        self._gate = threading.Lock()
+        self._inflight = 0
+        self._shed = 0
+        self._draining = False
 
     # ------------------------------------------------------------------
     # endpoint implementations (JSON dict in -> JSON dict out)
@@ -201,8 +232,9 @@ class DetectionServer:
     def handle_healthz(self) -> dict:
         with self._lock:
             stats = self.handle.stats.as_dict()
-            return {
-                "status": "ok",
+            status = "draining" if self._draining else "ok"
+            payload = {
+                "status": status,
                 "serving_version": self.handle.version,
                 "active_version": (
                     self.registry.active_version if self.registry else None
@@ -211,7 +243,18 @@ class DetectionServer:
                 "reloads": getattr(self.handle.ingestor, "reloads", 0),
                 "batches": stats["batches"],
                 "events": stats["events"],
+                "shed": self._shed,
             }
+            # a fault-tolerant deployment (fleet / checkpointed service)
+            # reports its own liveness: degraded shards, quarantined
+            # tenants, recovery progress — fold it into the probe
+            probe = getattr(self.handle.ingestor, "health", None)
+            if callable(probe):
+                detail = probe()
+                payload["deployment"] = detail
+                if status == "ok" and detail.get("status") not in (None, "ok"):
+                    payload["status"] = str(detail["status"])
+            return payload
 
     def handle_ingest(self, body: dict) -> dict:
         events_payload = body.get("events")
@@ -221,18 +264,37 @@ class DetectionServer:
             events = [event_from_dict(item) for item in events_payload]
         except DatasetError as exc:
             raise HttpError(400, str(exc)) from exc
-        with self._lock:
-            detections = self.handle.ingest(events)
-            if self._canary is not None and not self._canary.done:
-                self._canary.step(events, detections)
-            serialized = [_detection_to_dict(d) for d in detections]
-            for payload in serialized:
-                self._recent.append(payload)
-            return {
-                "ingested": len(events),
-                "detections": serialized,
-                "batch": self.handle.stats.as_dict()["batches"] - 1,
-            }
+        with self._gate:
+            if self._draining:
+                raise HttpError(
+                    503, "server is draining for shutdown",
+                    retry_after=self.retry_after,
+                )
+            if self._inflight >= self.max_inflight:
+                self._shed += 1
+                raise HttpError(
+                    429,
+                    f"ingest overloaded: {self._inflight} requests in flight "
+                    f"(max {self.max_inflight}); retry later",
+                    retry_after=self.retry_after,
+                )
+            self._inflight += 1
+        try:
+            with self._lock:
+                detections = self.handle.ingest(events)
+                if self._canary is not None and not self._canary.done:
+                    self._canary.step(events, detections)
+                serialized = [_detection_to_dict(d) for d in detections]
+                for payload in serialized:
+                    self._recent.append(payload)
+                return {
+                    "ingested": len(events),
+                    "detections": serialized,
+                    "batch": self.handle.stats.as_dict()["batches"] - 1,
+                }
+        finally:
+            with self._gate:
+                self._inflight -= 1
 
     def handle_detections(self, limit: int | None = None) -> dict:
         with self._lock:
@@ -274,6 +336,9 @@ class DetectionServer:
         candidate = registry.load(version)
         with self._lock:
             primary = self.handle.ingestor
+            # a durable deployment is still one service: canary against
+            # the live window inside the checkpoint wrapper
+            primary = getattr(primary, "service", primary)
             if not isinstance(primary, DetectionService):
                 raise HttpError(
                     409,
@@ -353,8 +418,25 @@ class DetectionServer:
         return self.registry
 
     def close(self) -> None:
-        """Close the underlying deployment; idempotent."""
-        self.handle.close()
+        """Drain in-flight ingests, cut a final checkpoint, close; idempotent.
+
+        New ingest requests are refused with 503 (+ ``Retry-After``) the
+        moment draining starts; taking the pipeline lock then waits out
+        every batch already admitted.  If the deployment is durable
+        (exposes ``checkpoint()``), the last thing that happens before
+        close is a full snapshot cut, so a clean shutdown never needs
+        WAL replay on the next boot.
+        """
+        with self._gate:
+            self._draining = True
+        with self._lock:
+            final_cut = getattr(self.handle.ingestor, "checkpoint", None)
+            if callable(final_cut):
+                try:
+                    final_cut()
+                except ReproError:  # pragma: no cover - best-effort final cut
+                    pass
+            self.handle.close()
 
 
 class _RequestHandler(BaseHTTPRequestHandler):
@@ -372,11 +454,16 @@ class _RequestHandler(BaseHTTPRequestHandler):
         return self.server.app  # type: ignore[attr-defined]
 
     # -- framing --------------------------------------------------------
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply(
+        self, status: int, payload: dict, retry_after: float | None = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            # ceil to whole seconds: Retry-After is delta-seconds per RFC
+            self.send_header("Retry-After", str(max(1, int(retry_after + 0.999))))
         self.end_headers()
         self.wfile.write(body)
 
@@ -399,7 +486,11 @@ class _RequestHandler(BaseHTTPRequestHandler):
         try:
             self._reply(200, self._route(method))
         except HttpError as exc:
-            self._reply(exc.status, {"error": str(exc), "status": exc.status})
+            self._reply(
+                exc.status,
+                {"error": str(exc), "status": exc.status},
+                retry_after=exc.retry_after,
+            )
         except (ArtifactError, DatasetError) as exc:
             self._reply(400, {"error": str(exc), "status": 400})
         except (RegistryError, ServingError) as exc:
@@ -521,6 +612,8 @@ def serve_http(
     registry: "ModelRegistry | str | Path | None" = None,
     detections_capacity: int = DEFAULT_DETECTIONS_CAPACITY,
     canary_batches: int = DEFAULT_CANARY_BATCHES,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    retry_after: float = DEFAULT_RETRY_AFTER,
 ) -> HttpServingHandle:
     """Bind a deployment to an HTTP address; returns the running handle.
 
@@ -540,6 +633,8 @@ def serve_http(
         registry=registry,
         detections_capacity=detections_capacity,
         canary_batches=canary_batches,
+        max_inflight=max_inflight,
+        retry_after=retry_after,
     )
     try:
         server = ThreadingHTTPServer((host, port), _RequestHandler)

@@ -35,7 +35,10 @@ import math
 import random
 import time as _time
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.faults import FaultPlan
 
 from repro.core.errors import ServingError
 from repro.core.graph_index import DEFAULT_MATCH_LIMIT, find_matches, match_span
@@ -294,20 +297,57 @@ class DetectionService:
     use_prefilter:
         Toggle the registry's shared signature prefilter (detections are
         identical either way; only impossible-query passes get slower).
+    faults / fault_scope:
+        Optional deterministic fault injection
+        (:class:`~repro.core.faults.FaultPlan`): the ``service.slow_batch``
+        and ``service.poison`` sites fire inside :meth:`ingest`.
+        ``fault_scope`` narrows the plan's rules (e.g.
+        ``{"shard": 1, "tenant": "acme"}`` inside a fleet worker).
     """
 
     def __init__(
         self,
         window_span: int | None = None,
         use_prefilter: bool = True,
+        faults: "FaultPlan | None" = None,
+        fault_scope: dict | None = None,
     ) -> None:
         self.registry = QueryRegistry()
         self.graph = StreamingGraph()
         self.use_prefilter = use_prefilter
         self.stats = ServiceStats()
         self.reloads = 0
+        self.faults = faults
+        self.fault_scope = fault_scope or {}
         self._explicit_window = window_span
         self._seen: dict[int, set[Span]] = {}
+
+    @classmethod
+    def recover(
+        cls,
+        directory,
+        *,
+        queries: "Sequence[BehaviorQuery] | None" = None,
+        window_span: int | None = None,
+        use_prefilter: bool = True,
+    ) -> "DetectionService":
+        """Rebuild a service from a checkpoint directory.
+
+        Restores the newest valid snapshot and replays the WAL tail; the
+        result is span-identical at every batch boundary to a service
+        that never crashed (see :mod:`repro.serving.checkpoint`).  The
+        keyword arguments only matter when the directory holds no usable
+        snapshot (a crash before the first checkpoint): they configure
+        the fresh service the genesis WAL is replayed into.
+        """
+        from repro.serving.checkpoint import recover_service
+
+        return recover_service(
+            directory,
+            queries=queries,
+            window_span=window_span,
+            use_prefilter=use_prefilter,
+        ).service
 
     # ------------------------------------------------------------------
     # registration
@@ -429,6 +469,12 @@ class DetectionService:
     def ingest(self, events: Sequence[SyscallEvent]) -> list[Detection]:
         """Append one event batch and report newly identified instances."""
         started = _time.perf_counter()
+        if self.faults is not None:
+            self.faults.maybe_sleep("service.slow_batch", **self.fault_scope)
+            if self.faults.fire("service.poison", **self.fault_scope):
+                raise ServingError(
+                    "injected fault at service.poison: poisoned batch"
+                )
         self.graph.window_span = self.window_span
         delta = self.graph.ingest(events)
         self.stats.events += delta.appended - delta.reinserted
