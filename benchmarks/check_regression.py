@@ -103,6 +103,22 @@ METRICS = [
     Metric("BENCH_http.json", "identical", "bool_true"),
     Metric("BENCH_http.json", "overhead_ratio", "absolute"),
     Metric("BENCH_http.json", "http_events_per_second", "absolute"),
+    # the disk-backed corpus store: mined patterns and detection spans
+    # must match the in-memory path exactly; the streaming reader must
+    # stay under the self-calibrated memory budget (the bool embeds its
+    # own scale guard); the store-vs-memory mining ratio is gated
+    # wherever the run was long enough to measure decode overhead
+    Metric("BENCH_store.json", "identical", "bool_true"),
+    Metric("BENCH_store.json", "rss_bounded", "bool_true"),
+    Metric(
+        "BENCH_store.json",
+        "store_efficiency",
+        "higher_better",
+        guard="efficiency_enforced",
+    ),
+    Metric("BENCH_store.json", "build_edges_per_second", "absolute"),
+    Metric("BENCH_store.json", "rss_ratio", "absolute"),
+    Metric("BENCH_store.json", "scan_ratio", "absolute"),
     Metric("BENCH_parallel.json", "identical", "bool_true"),
     Metric(
         "BENCH_parallel.json", "seed_speedup", "higher_better", guard="speedup_enforced"

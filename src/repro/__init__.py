@@ -75,6 +75,8 @@ from repro.core import (
     TGMiner,
     miner_variant,
 )
+from repro.core.errors import DatasetError
+from repro.datasets import CorpusStore
 from repro.query import QueryEngine
 from repro.serving import (
     BehaviorQuery,
@@ -106,6 +108,8 @@ __all__ = [
     "InformationGain",
     # batch query side
     "QueryEngine",
+    # disk-backed corpus store
+    "CorpusStore",
     # serving layer
     "BehaviorQuery",
     "Detection",
@@ -133,6 +137,7 @@ __all__ = [
     # errors + metadata
     "ReproError",
     "ArtifactError",
+    "DatasetError",
     "RegistryError",
     "HttpError",
     "__version__",

@@ -35,10 +35,12 @@ from repro.api.workspace import BehaviorEvaluation, EvaluationReport, Workspace
 from repro.core.errors import (
     ArtifactError,
     CheckpointError,
+    DatasetError,
     HttpError,
     RegistryError,
     ShardTimeoutError,
 )
+from repro.datasets.store import CorpusStore
 from repro.core.faults import FaultPlan, FaultSpec
 from repro.serving.checkpoint import CheckpointedService, recover_service
 from repro.serving.contracts import (
@@ -60,6 +62,8 @@ __all__ = [
     "BehaviorRecord",
     "CheckpointError",
     "CheckpointedService",
+    "CorpusStore",
+    "DatasetError",
     "DetectionServer",
     "EvaluationReport",
     "FaultPlan",

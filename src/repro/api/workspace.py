@@ -32,14 +32,17 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.api.model import BehaviorModel, BehaviorRecord
+from repro.core.errors import DatasetError
 from repro.core.graph import TemporalGraph
 from repro.core.kernel import LabelInterner
 from repro.core.miner import MinerConfig
 from repro.core.ranking import InterestModel, rank_patterns
 from repro.datasets.io import load_corpus, save_corpus
+from repro.datasets.store import BACKGROUND_PARTITION, CorpusStore
 from repro.experiments.harness import (
     DEFAULT_SPAN_SLACK,
     mine_all_behaviors,
+    mine_all_behaviors_from_store,
     span_cap,
 )
 from repro.query.engine import QueryEngine
@@ -60,6 +63,11 @@ from repro.syscall.events import SyscallEvent
 __all__ = ["Workspace", "EvaluationReport", "BehaviorEvaluation"]
 
 Span = tuple[int, int]
+
+#: Windowed-scan width as a multiple of the model's largest span cap
+#: (the overlap between consecutive windows is one cap, so a width of
+#: N caps re-scans 1/N of every window — 8 keeps that tax near 12%).
+DEFAULT_SCAN_WIDTH_CAPS = 8
 
 
 @dataclass(frozen=True)
@@ -170,13 +178,15 @@ class Workspace:
     # ------------------------------------------------------------------
     def mine(
         self,
-        train: TrainingData,
+        train: TrainingData | None = None,
         behaviors: Sequence[str] | None = None,
         config: MinerConfig | None = None,
         workers: int | None = None,
         seed_workers: int = 1,
         top_k: int = 5,
         slack: float = DEFAULT_SPAN_SLACK,
+        store: CorpusStore | str | Path | None = None,
+        memory_budget_mb: float | None = None,
     ) -> BehaviorModel:
         """Mine behavior queries into one versioned :class:`BehaviorModel`.
 
@@ -189,7 +199,29 @@ class Workspace:
         co-optimal patterns are ranked by the Appendix-M interest model
         and the top ``top_k`` become the behavior's queries, capped at
         the behavior's observed lifetime dilated by ``slack``.
+
+        With ``store=`` (a :class:`~repro.datasets.store.CorpusStore` or
+        a path to one) instead of ``train=``, the corpus streams from
+        disk: one behavior partition is decoded at a time (pool workers
+        attach to the store read-only), the interest model and label
+        interner fit from the graph catalog without touching edge pages,
+        and peak memory stays bounded by the largest partition plus
+        ``memory_budget_mb`` — the resulting model is byte-identical to
+        mining ``store.load_training_data(behaviors)`` in memory.
         """
+        if (train is None) == (store is None):
+            raise DatasetError("mine() needs exactly one of train= or store=")
+        if store is not None:
+            return self._mine_from_store(
+                store,
+                behaviors=behaviors,
+                config=config,
+                workers=workers,
+                seed_workers=seed_workers,
+                top_k=top_k,
+                slack=slack,
+                memory_budget_mb=memory_budget_mb,
+            )
         names = (
             list(behaviors) if behaviors is not None else list(train.config.behaviors)
         )
@@ -237,15 +269,113 @@ class Workspace:
             },
         )
 
+    def _mine_from_store(
+        self,
+        store: CorpusStore | str | Path,
+        *,
+        behaviors: Sequence[str] | None,
+        config: MinerConfig | None,
+        workers: int | None,
+        seed_workers: int,
+        top_k: int,
+        slack: float,
+        memory_budget_mb: float | None,
+    ) -> BehaviorModel:
+        """:meth:`mine` streaming from a disk-backed corpus store."""
+        opened_here = not isinstance(store, CorpusStore)
+        if opened_here:
+            store = CorpusStore.open(store, memory_budget_mb=memory_budget_mb)
+        try:
+            names = list(behaviors) if behaviors is not None else store.behaviors()
+            if not names:
+                raise DatasetError(
+                    f"no behavior partitions in store {store.path}"
+                )
+            config = config or MinerConfig()
+            effective_workers = self.workers if workers is None else workers
+            results = mine_all_behaviors_from_store(
+                store,
+                names,
+                config,
+                workers=effective_workers,
+                seed_workers=seed_workers,
+                memory_budget_mb=memory_budget_mb,
+            )
+            # one streaming pass over the node-label catalog, in the
+            # exact all_graphs() order (selected behaviors, then
+            # background), feeding the interner and the interest model
+            # together without decoding any edge pages
+            interner = LabelInterner()
+
+            def label_sets():
+                for name in names:
+                    yield from store.iter_graph_labels(name, kind="behavior")
+                yield from store.iter_graph_labels(
+                    BACKGROUND_PARTITION, kind="background"
+                )
+
+            def intern_and_collect():
+                for labels in label_sets():
+                    for label in labels:
+                        interner.intern(label)
+                    yield frozenset(labels)
+
+            interest = InterestModel.fit_label_sets(intern_and_collect())
+            records: dict[str, BehaviorRecord] = {}
+            for name, result in results.items():
+                ranked = rank_patterns(result.best, interest)[:top_k]
+                records[name] = BehaviorRecord(
+                    behavior=name,
+                    span_cap=int(store.max_span(name) * slack),
+                    patterns=tuple(ranked),
+                    co_optimal=len(result.best),
+                    patterns_explored=result.stats.patterns_explored,
+                    subgraph_tests=result.stats.subgraph_tests,
+                    index_prefilter_skips=result.stats.index_prefilter_skips,
+                    elapsed_seconds=result.stats.elapsed_seconds,
+                    timed_out=result.stats.timed_out,
+                )
+            return BehaviorModel(
+                config=config,
+                records=records,
+                labels=interner.snapshot(),
+                provenance={
+                    # a store, like a corpus directory, does not record
+                    # its generation seed
+                    "seed": None,
+                    "instances_per_behavior": max(
+                        1,
+                        min(
+                            store.graph_count(name, kind="behavior")
+                            for name in names
+                        ),
+                    ),
+                    "background_graphs": store.graph_count(
+                        BACKGROUND_PARTITION, kind="background"
+                    ),
+                    "workers": effective_workers,
+                    "seed_workers": seed_workers,
+                    "top_k": top_k,
+                    "slack": slack,
+                },
+            )
+        finally:
+            if opened_here:
+                store.close()
+
     # ------------------------------------------------------------------
     # online: batch query + streaming serve
     # ------------------------------------------------------------------
     def query(
         self,
         model: BehaviorModel,
-        test: TestData | TemporalGraph,
+        test: TestData | TemporalGraph | None = None,
         behaviors: Sequence[str] | None = None,
         use_index: bool = True,
+        store: CorpusStore | str | Path | None = None,
+        log: str | None = None,
+        scan_width: int | None = None,
+        memory_budget_mb: float | None = None,
     ) -> EvaluationReport:
         """Run a model's queries against a monitoring graph (batch).
 
@@ -253,7 +383,30 @@ class Workspace:
         :class:`TestData` with ground truth, in which case each
         behavior's pooled spans are also scored for precision/recall
         (paper Section 6.2 semantics).
+
+        With ``store=`` and ``log=`` instead of ``test=``, the
+        monitoring graph replays from a disk-backed corpus store as a
+        sweep of overlapping time windows (each an indexed range scan;
+        ``scan_width`` overrides the window width).  Queries whose
+        pattern contains a label pair absent from the log's stored
+        one-edge index are skipped without decoding a page, and window
+        overlap equals the model's largest span cap, so pooled spans are
+        identical to querying the materialized graph.
         """
+        if (test is None) == (store is None):
+            raise DatasetError("query() needs exactly one of test= or store=")
+        if store is not None:
+            if log is None:
+                raise DatasetError("query(store=...) needs log= (the log name)")
+            return self._query_from_store(
+                model,
+                store,
+                log,
+                behaviors=behaviors,
+                use_index=use_index,
+                scan_width=scan_width,
+                memory_budget_mb=memory_budget_mb,
+            )
         if isinstance(test, TestData):
             graph, truth = test.graph, test.instances
         else:
@@ -273,6 +426,76 @@ class Workspace:
                 ),
             )
         return EvaluationReport(behaviors=evaluations)
+
+    def _query_from_store(
+        self,
+        model: BehaviorModel,
+        store: CorpusStore | str | Path,
+        log: str,
+        *,
+        behaviors: Sequence[str] | None,
+        use_index: bool,
+        scan_width: int | None,
+        memory_budget_mb: float | None,
+    ) -> EvaluationReport:
+        """:meth:`query` as a windowed sweep over a stored log graph."""
+        opened_here = not isinstance(store, CorpusStore)
+        if opened_here:
+            store = CorpusStore.open(store, memory_budget_mb=memory_budget_mb)
+        try:
+            names = (
+                list(behaviors) if behaviors is not None else list(model.behaviors)
+            )
+            # sound prefilter via the stored one-edge index: a pattern
+            # edge whose label pair never occurs in the log cannot match
+            # anywhere, so the whole query is skipped unscanned
+            present = store.pair_labels(log)
+            active: dict[str, list] = {}
+            for name in names:
+                active[name] = [
+                    query
+                    for query in model.record(name).queries()
+                    if all(
+                        (query.pattern.label(u), query.pattern.label(v)) in present
+                        for u, v in query.pattern.edges
+                    )
+                ]
+            cap = max(
+                (query.max_span for queries in active.values() for query in queries),
+                default=0,
+            )
+            width = scan_width or max(DEFAULT_SCAN_WIDTH_CAPS * cap, cap + 1)
+            if width <= cap:
+                raise DatasetError(
+                    f"scan_width {width} must exceed the largest span cap {cap}"
+                )
+            spans_by_behavior: dict[str, set[Span]] = {name: set() for name in names}
+            if any(active.values()):
+                # overlap >= cap: every match (span <= its query's cap)
+                # falls entirely inside at least one window, and the
+                # span set dedupes matches seen in two windows
+                for _start, window in store.iter_windows(log, width, overlap=cap):
+                    if not window.num_edges:
+                        continue
+                    engine = QueryEngine(window, use_index=use_index)
+                    for name in names:
+                        for query in active[name]:
+                            spans_by_behavior[name].update(
+                                engine.search_query(query)
+                            )
+            return EvaluationReport(
+                behaviors={
+                    name: BehaviorEvaluation(
+                        behavior=name,
+                        spans=tuple(sorted(spans_by_behavior[name])),
+                        accuracy=None,
+                    )
+                    for name in names
+                }
+            )
+        finally:
+            if opened_here:
+                store.close()
 
     def serve(
         self,

@@ -85,8 +85,68 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--background", type=int, default=30, help="background graphs")
     gen.add_argument("--seed", type=int, default=7)
 
+    corpus = sub.add_parser(
+        "corpus",
+        help="build, inspect, or export a disk-backed corpus store "
+        "(one indexed SQLite file; mine/detect stream from it)",
+    )
+    csub = corpus.add_subparsers(dest="corpus_command", required=True)
+    cb = csub.add_parser(
+        "build", help="convert jsonl corpora and event logs into one store file"
+    )
+    cb.add_argument("--out", required=True, help="store file to create")
+    cb.add_argument(
+        "--train", default=None, help="corpus directory from `generate`"
+    )
+    cb.add_argument(
+        "--log",
+        action="append",
+        default=[],
+        metavar="JSONL",
+        help="event-log jsonl to store under its file stem (repeatable); "
+        "stored as a replayable event stream plus, when timestamps are "
+        "strictly ordered, a windowed-query graph",
+    )
+    cb.add_argument(
+        "--page-edges",
+        type=int,
+        default=None,
+        metavar="N",
+        help="edges per on-disk page blob (default 4096)",
+    )
+    cb.add_argument(
+        "--overwrite", action="store_true", help="replace an existing store file"
+    )
+    ci = csub.add_parser("info", help="print a store's catalog summary")
+    ci.add_argument("store", help="store file from `corpus build`")
+    ci.add_argument(
+        "--verify",
+        action="store_true",
+        help="also recompute every stored checksum (integrity check)",
+    )
+    ci.add_argument("--json", dest="json_out", default=None, help="write summary JSON")
+    ce = csub.add_parser(
+        "export", help="export a store back to a jsonl corpus directory"
+    )
+    ce.add_argument("store", help="store file from `corpus build`")
+    ce.add_argument(
+        "--out",
+        required=True,
+        help="corpus directory to write (event logs land under <out>/logs/)",
+    )
+
     mine = sub.add_parser("mine", help="mine behavior queries for one behavior")
-    mine.add_argument("--train", required=True, help="corpus directory from `generate`")
+    mine.add_argument(
+        "--train", default=None, help="corpus directory from `generate`"
+    )
+    mine.add_argument(
+        "--corpus",
+        default=None,
+        metavar="STORE",
+        help="mine streaming from a disk-backed corpus store instead of "
+        "--train (byte-identical patterns; peak memory stays bounded by "
+        "one behavior partition)",
+    )
     mine.add_argument("--behavior", required=True, choices=sorted(BEHAVIOR_NAMES))
     mine.add_argument("--max-edges", type=int, default=6)
     mine.add_argument("--min-support", type=float, default=0.7)
@@ -192,9 +252,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--log", help="event-log jsonl to replay (datasets.io.save_events_jsonl)"
     )
     source.add_argument(
+        "--store",
+        metavar="STORE",
+        help="corpus store from `corpus build`: replay a stored event log "
+        "by indexed range scan without loading it whole",
+    )
+    source.add_argument(
         "--instances",
         type=int,
         help="synthesize a busy-host test log with N behavior instances",
+    )
+    det.add_argument(
+        "--log-name",
+        default=None,
+        metavar="NAME",
+        help="with --store: the event log to replay (default: the only one)",
+    )
+    det.add_argument(
+        "--start",
+        type=int,
+        default=None,
+        metavar="T",
+        help="with --store: replay only events with time >= T",
+    )
+    det.add_argument(
+        "--end",
+        type=int,
+        default=None,
+        metavar="T",
+        help="with --store: replay only events with time <= T",
     )
     det.add_argument("--seed", type=int, default=11, help="synthesized-log seed")
     det.add_argument(
@@ -371,7 +457,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_mine(args: argparse.Namespace) -> int:
     ws = Workspace()
-    train = ws.load_corpus(args.train, behaviors=[args.behavior])
+    if (args.train is None) == (args.corpus is None):
+        print("error: mine needs exactly one of --train or --corpus", file=sys.stderr)
+        return 2
     config = miner_variant(
         args.variant,
         MinerConfig(
@@ -383,13 +471,23 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     )
     # 0 = one worker per CPU, matching `experiment -j 0`
     seed_workers = args.workers if args.workers != 0 else default_workers()
-    model = ws.mine(
-        train,
-        behaviors=[args.behavior],
-        config=config,
-        seed_workers=seed_workers,
-        top_k=args.top_k,
-    )
+    if args.corpus is not None:
+        model = ws.mine(
+            store=args.corpus,
+            behaviors=[args.behavior],
+            config=config,
+            seed_workers=seed_workers,
+            top_k=args.top_k,
+        )
+    else:
+        train = ws.load_corpus(args.train, behaviors=[args.behavior])
+        model = ws.mine(
+            train,
+            behaviors=[args.behavior],
+            config=config,
+            seed_workers=seed_workers,
+            top_k=args.top_k,
+        )
     record = model.record(args.behavior)
     best = record.best_score if record.best_score is not None else float("-inf")
     print(
@@ -549,12 +647,63 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         ingestor = DetectionService(window_span=args.window, use_prefilter=args.index)
         ingestor.register_all(queries)
 
+    if args.store is None and (
+        args.log_name is not None or args.start is not None or args.end is not None
+    ):
+        print(
+            "error: --log-name/--start/--end are only valid with --store",
+            file=sys.stderr,
+        )
+        return 2
+    corpus_store = None
+    batches = None
+    events = None
     if args.log:
         log_path = Path(args.log)
         if not log_path.exists():
             print(f"error: event log missing: {log_path}", file=sys.stderr)
             return 2
         events = load_events_jsonl(log_path)
+    elif args.store:
+        from repro.datasets.store import CorpusStore
+
+        corpus_store = CorpusStore.open(args.store)
+        event_logs = [
+            name for name in corpus_store.logs() if corpus_store.event_count(name)
+        ]
+        if args.log_name is not None:
+            if args.log_name not in event_logs:
+                print(
+                    f"error: no event log {args.log_name!r} in {args.store} "
+                    f"(has: {', '.join(event_logs) or 'none'})",
+                    file=sys.stderr,
+                )
+                corpus_store.close()
+                return 2
+            log_name = args.log_name
+        elif len(event_logs) == 1:
+            log_name = event_logs[0]
+        elif not event_logs:
+            print(f"error: no event logs in {args.store}", file=sys.stderr)
+            corpus_store.close()
+            return 2
+        else:
+            print(
+                f"error: {args.store} holds {len(event_logs)} event logs; "
+                "pick one with --log-name",
+                file=sys.stderr,
+            )
+            corpus_store.close()
+            return 2
+        if args.save_log:
+            count = save_events_jsonl(
+                corpus_store.iter_events(log_name, start=args.start, end=args.end),
+                args.save_log,
+            )
+            print(f"wrote {count} events to {args.save_log}")
+        batches = corpus_store.iter_event_batches(
+            log_name, args.batch_size, start=args.start, end=args.end
+        )
     else:
         if args.instances < 1:
             print("error: --instances must be >= 1", file=sys.stderr)
@@ -568,7 +717,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             )
         else:
             events = ws.generate_test(instances=args.instances, seed=args.seed).events
-    if args.save_log:
+    if args.save_log and events is not None:
         save_events_jsonl(events, args.save_log)
         print(f"wrote {len(events)} events to {args.save_log}")
 
@@ -576,12 +725,21 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     try:
         if fleet_mode:
             ingestor.start()
-        for _batch, detections in ingestor.replay(events, args.batch_size):
-            for detection in detections:
-                per_query[detection.query] += 1
+        if batches is not None:
+            # store replay: batches stream off disk one page range at a
+            # time — the whole log is never resident
+            for batch in batches:
+                for detection in ingestor.ingest(batch):
+                    per_query[detection.query] += 1
+        else:
+            for _batch, detections in ingestor.replay(events, args.batch_size):
+                for detection in detections:
+                    per_query[detection.query] += 1
         info = ingestor.stats.as_dict()
     finally:
         ingestor.close()
+        if corpus_store is not None:
+            corpus_store.close()
 
     late = info["late_dropped"]
     latency = info["latency_ms"]
@@ -685,6 +843,149 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    handlers = {
+        "build": _cmd_corpus_build,
+        "info": _cmd_corpus_info,
+        "export": _cmd_corpus_export,
+    }
+    return handlers[args.corpus_command](args)
+
+
+def _cmd_corpus_build(args: argparse.Namespace) -> int:
+    from repro.core.errors import TimestampOrderError
+    from repro.core.graph import TemporalGraph
+    from repro.datasets.io import iter_corpus
+    from repro.datasets.store import (
+        BACKGROUND_PARTITION,
+        DEFAULT_PAGE_EDGES,
+        CorpusStore,
+    )
+
+    if not args.train and not args.log:
+        print("error: corpus build needs --train and/or --log", file=sys.stderr)
+        return 2
+    page_edges = DEFAULT_PAGE_EDGES if args.page_edges is None else args.page_edges
+    store = CorpusStore.create(
+        args.out, page_edges=page_edges, overwrite=args.overwrite
+    )
+    graphs = events = 0
+    try:
+        if args.train:
+            # one decoded graph live at a time: iter_corpus streams the
+            # jsonl directory, the store pages it straight to disk
+            for partition, graph in iter_corpus(args.train):
+                kind = (
+                    "background"
+                    if partition == BACKGROUND_PARTITION
+                    else "behavior"
+                )
+                store.add_graph(partition, graph, kind=kind)
+                graphs += 1
+        for log_path in args.log:
+            name = Path(log_path).stem
+            log_events = load_events_jsonl(log_path)
+            graph = None
+            try:
+                node_keys: dict[str, str] = {}
+                for event in log_events:
+                    node_keys.setdefault(event.src_key, event.src_label)
+                    node_keys.setdefault(event.dst_key, event.dst_label)
+                graph = TemporalGraph.from_events(
+                    (
+                        (event.src_key, event.dst_key, event.time)
+                        for event in log_events
+                    ),
+                    name=name,
+                    node_keys=node_keys,
+                )
+            except TimestampOrderError:
+                print(
+                    f"note: {log_path} has concurrent timestamps; stored the "
+                    "event stream only (sequentialize to enable windowed query)"
+                )
+            wrote_graphs, wrote_events = store.add_log(
+                name, graph=graph, events=log_events
+            )
+            graphs += wrote_graphs
+            events += wrote_events
+    finally:
+        store.close()
+    size = Path(args.out).stat().st_size
+    print(
+        f"wrote {graphs} graphs and {events} events to {args.out} "
+        f"({size / 1e6:.1f} MB, {page_edges} edges/page)"
+    )
+    return 0
+
+
+def _cmd_corpus_info(args: argparse.Namespace) -> int:
+    from repro.datasets.store import CorpusStore
+
+    with CorpusStore.open(args.store) as store:
+        info = store.info()
+        if args.verify:
+            verified = store.verify()
+            info["verified"] = verified
+    print(
+        f"{info['path']}: schema v{info['schema_version']}, "
+        f"{info['graphs']} graphs / {info['edges']} edges, "
+        f"{info['labels']} interned labels, {info['page_edges']} edges/page, "
+        f"{info['file_bytes'] / 1e6:.1f} MB"
+    )
+    for name, count in info["behaviors"].items():
+        print(f"  behavior {name:22s} {count:6d} graphs")
+    print(f"  background {'':20s} {info['background_graphs']:6d} graphs")
+    for name, count in info["logs"].items():
+        print(f"  log {name:27s} {count:6d} events")
+    if args.verify:
+        print(
+            f"verified {info['verified']['graphs']} graph checksums and "
+            f"{info['verified']['event_pages']} event-page checksums: OK"
+        )
+    if args.json_out:
+        Path(args.json_out).write_text(json.dumps(info, indent=2))
+        print(f"wrote {args.json_out}")
+    return 0
+
+
+def _cmd_corpus_export(args: argparse.Namespace) -> int:
+    from repro.core.errors import DatasetError
+    from repro.datasets.io import (
+        BACKGROUND_FILE,
+        save_graphs_jsonl,
+    )
+    from repro.datasets.store import BACKGROUND_PARTITION, CorpusStore
+
+    out = Path(args.out)
+    try:
+        out.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise DatasetError(f"cannot create {out}: {exc}") from exc
+    graphs = events = 0
+    with CorpusStore.open(args.store) as store:
+        for name in store.behaviors():
+            graphs += save_graphs_jsonl(
+                store.iter_graphs(name, kind="behavior"), out / f"{name}.jsonl"
+            )
+        graphs += save_graphs_jsonl(
+            store.iter_graphs(BACKGROUND_PARTITION, kind="background"),
+            out / BACKGROUND_FILE,
+        )
+        event_logs = [n for n in store.logs() if store.event_count(n)]
+        if event_logs:
+            try:
+                (out / "logs").mkdir(exist_ok=True)
+            except OSError as exc:
+                raise DatasetError(f"cannot create {out / 'logs'}: {exc}") from exc
+            for name in event_logs:
+                events += save_events_jsonl(
+                    store.iter_events(name), out / "logs" / f"{name}.jsonl"
+                )
+    print(f"exported {graphs} graphs and {events} events to {out}")
+    return 0
+
+
 def _cmd_pack(args: argparse.Namespace) -> int:
     model = BehaviorModel.load(args.src)
     path = model.save(args.dst)
@@ -732,6 +1033,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "generate": _cmd_generate,
+        "corpus": _cmd_corpus,
         "mine": _cmd_mine,
         "experiment": _cmd_experiment,
         "detect": _cmd_detect,

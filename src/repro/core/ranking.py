@@ -57,10 +57,26 @@ class InterestModel:
         blacklist: Sequence[str] = DEFAULT_BLACKLIST,
     ) -> "InterestModel":
         """Count per-graph label occurrences over the training data."""
+        return cls.fit_label_sets(
+            (graph.label_set() for graph in graphs), blacklist
+        )
+
+    @classmethod
+    def fit_label_sets(
+        cls,
+        label_sets: Iterable[frozenset[str]],
+        blacklist: Sequence[str] = DEFAULT_BLACKLIST,
+    ) -> "InterestModel":
+        """:meth:`fit` from bare per-graph label sets.
+
+        The disk-backed corpus store fits the model from its graph
+        catalog without decoding a single edge page; :meth:`fit`
+        delegates here so both paths share one counting loop.
+        """
         model = cls(blacklist=tuple(blacklist))
-        for graph in graphs:
+        for label_set in label_sets:
             model._total_graphs += 1
-            for label in graph.label_set():
+            for label in label_set:
                 model._freq[label] = model._freq.get(label, 0) + 1
         return model
 

@@ -1,10 +1,31 @@
-"""Dataset utilities: (de)serialization and synthetic scaling."""
+"""Dataset utilities: (de)serialization, synthetic scaling, disk store."""
 
-from repro.datasets.io import load_graphs_jsonl, save_graphs_jsonl
+from repro.datasets.io import (
+    iter_corpus,
+    iter_graphs_jsonl,
+    load_corpus,
+    load_graphs_jsonl,
+    save_corpus,
+    save_graphs_jsonl,
+)
+from repro.datasets.store import (
+    BACKGROUND_PARTITION,
+    DEFAULT_PAGE_EDGES,
+    STORE_SCHEMA_VERSION,
+    CorpusStore,
+)
 from repro.datasets.synthetic import replicate_graphs, replicate_training_data
 
 __all__ = [
+    "BACKGROUND_PARTITION",
+    "CorpusStore",
+    "DEFAULT_PAGE_EDGES",
+    "STORE_SCHEMA_VERSION",
+    "iter_corpus",
+    "iter_graphs_jsonl",
+    "load_corpus",
     "load_graphs_jsonl",
+    "save_corpus",
     "save_graphs_jsonl",
     "replicate_graphs",
     "replicate_training_data",

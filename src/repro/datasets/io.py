@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.errors import DatasetError
 from repro.core.graph import TemporalGraph
@@ -28,13 +28,16 @@ from repro.syscall.events import SyscallEvent
 __all__ = [
     "save_graphs_jsonl",
     "load_graphs_jsonl",
+    "iter_graphs_jsonl",
     "graph_to_dict",
     "graph_from_dict",
     "save_corpus",
     "load_corpus",
+    "iter_corpus",
     "corpus_behaviors",
     "save_events_jsonl",
     "load_events_jsonl",
+    "iter_events_jsonl",
     "event_to_dict",
     "event_from_dict",
     "iter_jsonl_objects",
@@ -51,15 +54,20 @@ def iter_jsonl_objects(path: str | Path):
     (graphs, event logs, behavior queries), so blank-line handling and
     ``path:line`` error context stay uniform.
     """
-    with open(path, "r", encoding="utf-8") as handle:
-        for line_no, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                yield line_no, json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise DatasetError(f"{path}:{line_no}: invalid JSON: {exc}") from exc
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield line_no, json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise DatasetError(
+                        f"{path}:{line_no}: invalid JSON: {exc}"
+                    ) from exc
+    except OSError as exc:
+        raise DatasetError(f"cannot read {path}: {exc}") from exc
 
 
 def graph_to_dict(graph: TemporalGraph) -> dict:
@@ -87,16 +95,30 @@ def graph_from_dict(payload: dict) -> TemporalGraph:
 def save_graphs_jsonl(graphs: Iterable[TemporalGraph], path: str | Path) -> int:
     """Write graphs to a jsonl file; returns the number written."""
     count = 0
-    with open(path, "w", encoding="utf-8") as handle:
-        for graph in graphs:
-            handle.write(json.dumps(graph_to_dict(graph)) + "\n")
-            count += 1
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            for graph in graphs:
+                handle.write(json.dumps(graph_to_dict(graph)) + "\n")
+                count += 1
+    except OSError as exc:
+        raise DatasetError(f"cannot write {path}: {exc}") from exc
     return count
+
+
+def iter_graphs_jsonl(path: str | Path) -> Iterator[TemporalGraph]:
+    """Stream graphs from a jsonl file one at a time.
+
+    The generator twin of :func:`load_graphs_jsonl`: only one decoded
+    graph is live at a time, which is what the corpus-store builder
+    consumes so converting a corpus never materializes it.
+    """
+    for _line, payload in iter_jsonl_objects(path):
+        yield graph_from_dict(payload)
 
 
 def load_graphs_jsonl(path: str | Path) -> list[TemporalGraph]:
     """Read graphs from a jsonl file."""
-    return [graph_from_dict(payload) for _line, payload in iter_jsonl_objects(path)]
+    return list(iter_graphs_jsonl(path))
 
 
 # ----------------------------------------------------------------------
@@ -109,7 +131,10 @@ def save_corpus(train, root: str | Path) -> int:
     (the CLI ``generate`` format).  Returns the number of graphs written.
     """
     root = Path(root)
-    root.mkdir(parents=True, exist_ok=True)
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise DatasetError(f"cannot create corpus directory {root}: {exc}") from exc
     total = 0
     for name in train.config.behaviors:
         total += save_graphs_jsonl(train.behavior(name), root / f"{name}.jsonl")
@@ -123,16 +148,11 @@ def corpus_behaviors(root: str | Path) -> list[str]:
     return sorted(p.stem for p in root.glob("*.jsonl") if p.name != BACKGROUND_FILE)
 
 
-def load_corpus(root: str | Path, behaviors: Sequence[str] | None = None):
-    """Load a corpus directory back into a ``TrainingData``.
-
-    ``behaviors`` restricts the load to the named subset (the mining CLI
-    loads one behavior plus background); ``None`` loads every behavior
-    file.  Raises :class:`DatasetError` when requested files are missing.
-    """
-    from repro.syscall.collector import TrainingConfig, TrainingData
-
-    root = Path(root)
+def _corpus_partitions(
+    root: Path, behaviors: Sequence[str] | None
+) -> list[tuple[str, Path]]:
+    """Validate a corpus directory; ``(partition, file)`` pairs in load
+    order (behaviors, then ``background``)."""
     bg_path = root / BACKGROUND_FILE
     if not bg_path.exists():
         raise DatasetError(f"corpus files missing under {root}: {BACKGROUND_FILE}")
@@ -142,8 +162,40 @@ def load_corpus(root: str | Path, behaviors: Sequence[str] | None = None):
         raise DatasetError(f"behavior files missing under {root}: {', '.join(missing)}")
     if not names:
         raise DatasetError(f"no behavior files under {root}")
+    return [(n, root / f"{n}.jsonl") for n in names] + [(bg_path.stem, bg_path)]
+
+
+def iter_corpus(
+    root: str | Path, behaviors: Sequence[str] | None = None
+) -> Iterator[tuple[str, TemporalGraph]]:
+    """Stream a corpus directory as ``(partition, graph)`` pairs.
+
+    The generator option :func:`load_corpus` is built on: behaviors in
+    load order, then ``"background"`` for the shared negative set, one
+    decoded graph live at a time.  Directory validation (missing
+    background or behavior files) happens before the first yield.
+    """
+    for partition, path in _corpus_partitions(Path(root), behaviors):
+        for graph in iter_graphs_jsonl(path):
+            yield partition, graph
+
+
+def load_corpus(root: str | Path, behaviors: Sequence[str] | None = None):
+    """Load a corpus directory back into a ``TrainingData``.
+
+    ``behaviors`` restricts the load to the named subset (the mining CLI
+    loads one behavior plus background); ``None`` loads every behavior
+    file.  Raises :class:`DatasetError` when requested files are missing.
+    For a streaming walk that never materializes the corpus, use
+    :func:`iter_corpus`.
+    """
+    from repro.syscall.collector import TrainingConfig, TrainingData
+
+    root = Path(root)
+    partitions = _corpus_partitions(root, behaviors)
+    names = [name for name, _path in partitions[:-1]]
     behavior_graphs = {n: load_graphs_jsonl(root / f"{n}.jsonl") for n in names}
-    background = load_graphs_jsonl(bg_path)
+    background = load_graphs_jsonl(root / BACKGROUND_FILE)
     # rebuild the config from what is actually on disk; seed=-1 flags
     # that a corpus directory does not record its generation seed
     return TrainingData(
@@ -192,26 +244,32 @@ def event_from_dict(payload: dict) -> SyscallEvent:
         raise DatasetError(f"malformed event payload: {exc}") from exc
 
 
-def save_events_jsonl(events: Sequence[SyscallEvent], path: str | Path) -> int:
+def save_events_jsonl(events: Iterable[SyscallEvent], path: str | Path) -> int:
     """Write a raw syscall event log to a jsonl file; returns the count.
 
     Event logs are the replay feed of the streaming detection service
     (``python -m repro detect --log ...``).
     """
     count = 0
-    with open(path, "w", encoding="utf-8") as handle:
-        for event in events:
-            handle.write(json.dumps(event_to_dict(event)) + "\n")
-            count += 1
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(json.dumps(event_to_dict(event)) + "\n")
+                count += 1
+    except OSError as exc:
+        raise DatasetError(f"cannot write {path}: {exc}") from exc
     return count
+
+
+def iter_events_jsonl(path: str | Path) -> Iterator[SyscallEvent]:
+    """Stream a raw syscall event log one event at a time."""
+    for line_no, payload in iter_jsonl_objects(path):
+        try:
+            yield event_from_dict(payload)
+        except DatasetError as exc:
+            raise DatasetError(f"{path}:{line_no}: {exc}") from exc
 
 
 def load_events_jsonl(path: str | Path) -> list[SyscallEvent]:
     """Read a raw syscall event log from a jsonl file."""
-    events: list[SyscallEvent] = []
-    for line_no, payload in iter_jsonl_objects(path):
-        try:
-            events.append(event_from_dict(payload))
-        except DatasetError as exc:
-            raise DatasetError(f"{path}:{line_no}: {exc}") from exc
-    return events
+    return list(iter_events_jsonl(path))

@@ -31,6 +31,7 @@ __all__ = [
     "span_cap_for_graphs",
     "mine_behavior",
     "mine_all_behaviors",
+    "mine_all_behaviors_from_store",
     "formulate_tgminer_queries",
     "formulate_ntemp_queries",
     "formulate_nodeset_query",
@@ -172,6 +173,104 @@ def mine_all_behaviors(
     finally:
         _clear_fanout_state()
     return dict(results)
+
+
+# ----------------------------------------------------------------------
+# behavior-level fan-out from a disk-backed corpus store
+# ----------------------------------------------------------------------
+
+_STORE_STATE: tuple[MinerConfig, object, list[TemporalGraph]] | None = None
+
+
+def _init_store_worker(
+    config: MinerConfig, store_path: str, memory_budget_mb: float | None
+) -> None:
+    # unlike the in-memory fan-out, nothing graph-shaped crosses the
+    # process boundary: each worker opens the store file read-only and
+    # decodes the shared negative set once
+    global _STORE_STATE
+    from repro.datasets.store import BACKGROUND_PARTITION, CorpusStore
+
+    store = CorpusStore.open(store_path, memory_budget_mb=memory_budget_mb)
+    background = store.load_graphs(BACKGROUND_PARTITION, kind="background")
+    _STORE_STATE = (config, store, background)
+
+
+def _mine_store_task(name: str) -> tuple[str, MiningResult]:
+    assert _STORE_STATE is not None
+    config, store, background = _STORE_STATE
+    positives = store.load_graphs(name, kind="behavior")
+    return name, TGMiner(config).mine(positives, background)
+
+
+def _clear_store_state() -> None:
+    global _STORE_STATE
+    if _STORE_STATE is not None:
+        _STORE_STATE[1].close()
+    _STORE_STATE = None
+
+
+def mine_all_behaviors_from_store(
+    store,
+    behaviors: Sequence[str] | None = None,
+    config: MinerConfig | None = None,
+    workers: int | None = 1,
+    seed_workers: int = 1,
+    start_method: str | None = None,
+    memory_budget_mb: float | None = None,
+) -> dict[str, MiningResult]:
+    """:func:`mine_all_behaviors` streaming from a :class:`CorpusStore`.
+
+    ``store`` is a :class:`~repro.datasets.store.CorpusStore` or a path
+    to one.  Only one behavior's positive graphs are decoded at a time
+    (plus the shared background set), so peak memory is bounded by the
+    largest single partition, not the corpus.  With ``workers > 1``
+    tasks carry only behavior *names* — each pool worker attaches to the
+    store file read-only and reads its own graphs.  ``seed_workers``
+    shards within each behavior via
+    :class:`~repro.core.parallel.ParallelMiner` exactly as in the
+    in-memory fan-out (the two levels still do not compose).  Results
+    are byte-identical to :func:`mine_all_behaviors` over the
+    materialized corpus.
+    """
+    from repro.datasets.store import BACKGROUND_PARTITION, CorpusStore
+
+    opened_here = not isinstance(store, CorpusStore)
+    if opened_here:
+        store = CorpusStore.open(store, memory_budget_mb=memory_budget_mb)
+    try:
+        names = list(behaviors) if behaviors is not None else store.behaviors()
+        config = config or MinerConfig()
+        config.validate()
+        workers = default_workers() if workers in (None, 0) else int(workers)
+        if seed_workers > 1:
+            if workers > 1:
+                raise MiningError(
+                    "workers and seed_workers cannot both exceed 1: pool "
+                    "workers are daemonic and cannot spawn a nested pool"
+                )
+            background = store.load_graphs(BACKGROUND_PARTITION, kind="background")
+            return {
+                name: ParallelMiner(
+                    config, workers=seed_workers, start_method=start_method
+                ).mine(store.load_graphs(name, kind="behavior"), background)
+                for name in names
+            }
+        try:
+            results = run_sharded(
+                names,
+                _mine_store_task,
+                workers=workers,
+                initializer=_init_store_worker,
+                initargs=(config, str(store.path), memory_budget_mb),
+                start_method=start_method,
+            )
+        finally:
+            _clear_store_state()
+        return dict(results)
+    finally:
+        if opened_here:
+            store.close()
 
 
 def formulate_tgminer_queries(

@@ -553,3 +553,156 @@ class TestErrorPaths:
 
         with pytest.raises(ArtifactError, match="cannot write model bundle"):
             model.save(blocker / "out.tgm")  # parent is a file, not a dir
+
+
+class TestCorpusStoreCLI:
+    @pytest.fixture(scope="class")
+    def store_path(self, corpus, tmp_path_factory):
+        path = tmp_path_factory.mktemp("store") / "corpus.store"
+        assert (
+            main(["corpus", "build", "--train", str(corpus), "--out", str(path)])
+            == 0
+        )
+        return path
+
+    def test_build_reports_totals(self, corpus, store_path, capsys):
+        assert store_path.exists()
+        # rebuilding without --overwrite refuses; with it, succeeds
+        code = main(
+            ["corpus", "build", "--train", str(corpus), "--out", str(store_path)]
+        )
+        assert code == 2
+        assert "already exists" in capsys.readouterr().err
+
+    def test_info_and_verify(self, store_path, tmp_path, capsys):
+        out_json = tmp_path / "info.json"
+        assert (
+            main(
+                [
+                    "corpus",
+                    "info",
+                    str(store_path),
+                    "--verify",
+                    "--json",
+                    str(out_json),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "schema v1" in out
+        assert "gzip-decompress" in out
+        assert "checksums: OK" in out
+        import json
+
+        payload = json.loads(out_json.read_text())
+        assert payload["schema_version"] == 1
+        assert payload["behaviors"]["gzip-decompress"] == 4
+        assert payload["background_graphs"] == 6
+
+    def test_export_round_trips_bytes(self, corpus, store_path, tmp_path, capsys):
+        out = tmp_path / "exported"
+        assert main(["corpus", "export", str(store_path), "--out", str(out)]) == 0
+        assert "exported" in capsys.readouterr().out
+        for src in sorted(corpus.glob("*.jsonl")):
+            assert (out / src.name).read_bytes() == src.read_bytes()
+
+    def test_mine_corpus_matches_mine_train(self, corpus, store_path, capsys):
+        base = ["--behavior", "gzip-decompress", "--max-edges", "3"]
+        assert main(["mine", "--train", str(corpus)] + base) == 0
+        train_out = capsys.readouterr().out
+        assert main(["mine", "--corpus", str(store_path)] + base) == 0
+        corpus_out = capsys.readouterr().out
+        # identical mined patterns; only the stats line may differ
+        assert train_out.split("\n\n", 1)[1] == corpus_out.split("\n\n", 1)[1]
+
+    def test_detect_store_matches_detect_log(
+        self, corpus, store_path, tmp_path, capsys
+    ):
+        bundle = tmp_path / "model.tgm"
+        assert (
+            main(
+                [
+                    "mine",
+                    "--corpus",
+                    str(store_path),
+                    "--behavior",
+                    "gzip-decompress",
+                    "--max-edges",
+                    "3",
+                    "--save-model",
+                    str(bundle),
+                ]
+            )
+            == 0
+        )
+        log = tmp_path / "log.jsonl"
+        args = ["detect", "--model", str(bundle), "--batch-size", "64"]
+        assert main(args + ["--instances", "3", "--save-log", str(log)]) == 0
+        live_out = capsys.readouterr().out
+        with_log = tmp_path / "with-log.store"
+        assert (
+            main(
+                [
+                    "corpus",
+                    "build",
+                    "--log",
+                    str(log),
+                    "--out",
+                    str(with_log),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(args + ["--store", str(with_log)]) == 0
+        store_out = capsys.readouterr().out
+        assert store_out.split("detections:")[1] == live_out.split(
+            "detections:"
+        )[1].split("wrote")[0]
+
+    def test_build_requires_an_input(self, tmp_path, capsys):
+        code = main(["corpus", "build", "--out", str(tmp_path / "x.store")])
+        assert code == 2
+        assert "--train and/or --log" in capsys.readouterr().err
+
+    def test_mine_requires_one_source(self, corpus, store_path, capsys):
+        code = main(["mine", "--behavior", "gzip-decompress"])
+        assert code == 2
+        assert "exactly one" in capsys.readouterr().err
+        code = main(
+            [
+                "mine",
+                "--train",
+                str(corpus),
+                "--corpus",
+                str(store_path),
+                "--behavior",
+                "gzip-decompress",
+            ]
+        )
+        assert code == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_info_missing_store_errors(self, tmp_path, capsys):
+        assert main(["corpus", "info", str(tmp_path / "no.store")]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "missing" in err
+
+    def test_detect_store_without_events_errors(self, store_path, tmp_path, capsys):
+        from conftest import make_behavior_model
+
+        bundle = make_behavior_model().save(tmp_path / "m.tgm")
+        code = main(["detect", "--model", str(bundle), "--store", str(store_path)])
+        assert code == 2
+        assert "no event logs" in capsys.readouterr().err
+
+    def test_detect_range_flags_require_store(self, tmp_path, capsys):
+        from conftest import make_behavior_model
+
+        bundle = make_behavior_model().save(tmp_path / "m.tgm")
+        code = main(
+            ["detect", "--model", str(bundle), "--instances", "1", "--start", "5"]
+        )
+        assert code == 2
+        assert "--store" in capsys.readouterr().err

@@ -6,6 +6,10 @@ from repro.core.errors import DatasetError
 from repro.datasets.io import (
     graph_from_dict,
     graph_to_dict,
+    iter_corpus,
+    iter_events_jsonl,
+    iter_graphs_jsonl,
+    load_corpus,
     load_events_jsonl,
     load_graphs_jsonl,
     save_events_jsonl,
@@ -70,6 +74,99 @@ class TestIO:
     def test_malformed_edge_raises(self):
         with pytest.raises(DatasetError):
             graph_from_dict({"labels": ["A", "B"], "edges": [[0, "x", 0]]})
+
+
+class TestStreaming:
+    def test_iter_graphs_matches_load(self, tmp_path):
+        graphs = [
+            build_graph([(0, 1, 0)], labels=["A", "B"], name="x"),
+            build_graph([(0, 1, 0), (1, 0, 1)], labels=["C", "D"], name="y"),
+        ]
+        path = tmp_path / "graphs.jsonl"
+        save_graphs_jsonl(graphs, path)
+        streamed = list(iter_graphs_jsonl(path))
+        assert [g.name for g in streamed] == ["x", "y"]
+
+    def test_iter_graphs_is_lazy(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"labels": ["A", "B"], "edges": [[0, 1, 0]]}\n{broken\n')
+        it = iter_graphs_jsonl(path)
+        assert next(it).num_edges == 1  # first line decodes fine
+        with pytest.raises(DatasetError):
+            next(it)
+
+    def test_iter_events_matches_load(self, tmp_path):
+        events = [
+            SyscallEvent(0, "open", "p1", "proc", "f1", "file"),
+            SyscallEvent(4, "connect", "p1", "proc", "s1", "sock"),
+        ]
+        path = tmp_path / "log.jsonl"
+        save_events_jsonl(events, path)
+        assert list(iter_events_jsonl(path)) == events
+
+    def test_iter_corpus_streams_partitions(self, tmp_path):
+        g = build_graph([(0, 1, 0)], labels=["A", "B"], name="g")
+        save_graphs_jsonl([g, g], tmp_path / "ssh-login.jsonl")
+        save_graphs_jsonl([g], tmp_path / "background.jsonl")
+        pairs = [(p, graph.name) for p, graph in iter_corpus(tmp_path)]
+        assert pairs == [
+            ("ssh-login", "g"),
+            ("ssh-login", "g"),
+            ("background", "g"),
+        ]
+
+
+class TestCorruptInputs:
+    def test_truncated_jsonl(self, tmp_path):
+        path = tmp_path / "trunc.jsonl"
+        path.write_text('{"labels": ["A", "B"], "edges": [[0, 1, 0]]}\n{"labels')
+        with pytest.raises(DatasetError, match="invalid JSON"):
+            load_graphs_jsonl(path)
+
+    def test_bad_event_schema(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text(
+            '{"time": "noon", "syscall": "open", "src_key": "p", '
+            '"src_label": "proc", "dst_key": "f", "dst_label": "file"}\n'
+        )
+        with pytest.raises(DatasetError, match="log.jsonl:1"):
+            load_events_jsonl(path)
+
+    def test_unreadable_path_wrapped(self, tmp_path):
+        # a directory given where a jsonl file is expected: the OSError
+        # surfaces as DatasetError (exit 2 in the CLI), not a traceback
+        with pytest.raises(DatasetError, match="cannot read"):
+            load_graphs_jsonl(tmp_path)
+        with pytest.raises(DatasetError, match="cannot read"):
+            load_events_jsonl(tmp_path)
+
+    def test_unwritable_path_wrapped(self, tmp_path):
+        g = build_graph([(0, 1, 0)], labels=["A", "B"])
+        with pytest.raises(DatasetError, match="cannot write"):
+            save_graphs_jsonl([g], tmp_path / "no" / "such" / "dir.jsonl")
+        with pytest.raises(DatasetError, match="cannot write"):
+            save_events_jsonl([], tmp_path / "no" / "such" / "dir.jsonl")
+
+    def test_missing_background_file(self, tmp_path):
+        g = build_graph([(0, 1, 0)], labels=["A", "B"])
+        save_graphs_jsonl([g], tmp_path / "ssh-login.jsonl")
+        with pytest.raises(DatasetError, match="background.jsonl"):
+            load_corpus(tmp_path)
+        with pytest.raises(DatasetError, match="background.jsonl"):
+            next(iter_corpus(tmp_path))
+
+    def test_missing_behavior_file(self, tmp_path):
+        g = build_graph([(0, 1, 0)], labels=["A", "B"])
+        save_graphs_jsonl([g], tmp_path / "background.jsonl")
+        save_graphs_jsonl([g], tmp_path / "ssh-login.jsonl")
+        with pytest.raises(DatasetError, match="ftpd-login"):
+            load_corpus(tmp_path, behaviors=["ftpd-login"])
+
+    def test_empty_corpus_dir(self, tmp_path):
+        g = build_graph([(0, 1, 0)], labels=["A", "B"])
+        save_graphs_jsonl([g], tmp_path / "background.jsonl")
+        with pytest.raises(DatasetError, match="no behavior files"):
+            load_corpus(tmp_path)
 
 
 class TestReplication:
